@@ -1,0 +1,95 @@
+// Experiment E5 (§3.2 scalability claim): "anycast addresses ... must be
+// advertised individually by routing protocols and lead to routing state
+// that grows in direct proportion to the number of anycast groups."
+//
+// We sweep the number of simultaneously deployed anycast groups under
+// Option 1 (global non-aggregatable routes) and Option 2 (default-ISP
+// rooted), counting per-router BGP RIB entries and FIB entries. Option 1
+// must grow linearly in the group count at *every* router of the
+// Internet; Option 2 keeps remote routers' state flat (only member
+// domains carry per-group state in their IGP).
+#include "bench_util.h"
+
+#include "anycast/anycast.h"
+#include "sim/metrics.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+using net::NodeId;
+
+struct StateCount {
+  double mean_rib = 0.0;
+  double mean_fib_anycast = 0.0;
+  double max_rib = 0.0;
+};
+
+StateCount count_state(EvolvableInternet& net) {
+  sim::Summary rib;
+  sim::Summary fib;
+  for (const auto& router : net.topology().routers()) {
+    if (router.border) {
+      rib.add(static_cast<double>(
+          net.bgp().loc_rib_size(router.id, /*anycast_only=*/true)));
+    }
+    const auto& f = net.network().fib(router.id);
+    fib.add(static_cast<double>(f.size_with_origin(net::RouteOrigin::kBgp) +
+                                f.size_with_origin(net::RouteOrigin::kAnycast)));
+  }
+  return StateCount{rib.mean(), fib.mean(), rib.max()};
+}
+
+void sweep(anycast::InterDomainMode mode) {
+  bench::subbanner(std::string("mode: ") + to_string(mode));
+  bench::row("%-10s %-16s %-16s %-14s", "groups", "mean-anycast-rib",
+             "mean-route-fib", "max-anycast-rib");
+
+  auto net = bench::make_internet({.transit_domains = 4,
+                                   .stubs_per_transit = 3,
+                                   .seed = 5005},
+                                  /*hosts_per_stub=*/0);
+  const auto& domains = net->topology().domains();
+  sim::Rng rng{55};
+
+  std::vector<net::GroupId> groups;
+  for (const std::size_t target : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    while (groups.size() < target) {
+      anycast::GroupConfig config;
+      config.mode = mode;
+      config.default_domain = domains[groups.size() % domains.size()].id;
+      const auto g = net->anycast().create_group(config);
+      groups.push_back(g);
+      // Each group gets members in 3 random domains, one router each.
+      const auto picks = rng.sample_indices(domains.size(), 3);
+      for (const auto d : picks) {
+        const auto& routers = domains[d].routers;
+        net->anycast().add_member(
+            g, routers[static_cast<std::size_t>(rng.uniform_int(
+                   0, static_cast<std::int64_t>(routers.size()) - 1))]);
+      }
+    }
+    net->converge();
+    const auto state = count_state(*net);
+    bench::row("%-10zu %-16.2f %-16.2f %-14.0f", target, state.mean_rib,
+               state.mean_fib_anycast, state.max_rib);
+  }
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  evo::bench::banner(
+      "E5: routing state vs number of anycast groups (\"state grows in "
+      "direct proportion to the number of anycast groups\")");
+  evo::sweep(evo::anycast::InterDomainMode::kGlobalRoutes);
+  evo::sweep(evo::anycast::InterDomainMode::kDefaultRoute);
+  evo::bench::row(
+      "claim: option 1 RIB/FIB state is linear in #groups at every router; "
+      "option 2 keeps global state flat (no BGP origination), trading "
+      "proximity for scalability. The paper also argues #groups stays tiny "
+      "(one per IP generation) because ISPs, not endusers, consume them.");
+  return 0;
+}

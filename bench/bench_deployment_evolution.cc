@@ -1,0 +1,75 @@
+// Experiment E8 (§2.1): the full evolution story. IPvN rolls out domain
+// by domain over a transit-stub Internet; at every epoch we verify
+// universal access (every host pair exchanges IPvN datagrams), and track
+// stretch, native-address adoption, vN-Bone size, and per-ISP anycast
+// traffic share (the revenue-flow signal of assumption A4).
+#include "bench_util.h"
+
+#include "anycast/resolver.h"
+#include "core/universal_access.h"
+#include "sim/metrics.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+
+void evolution_run() {
+  bench::banner(
+      "E8: full evolution, transit-stub Internet (20 domains, 2 hosts per "
+      "stub), domain-by-domain adoption");
+  auto net = bench::make_internet({.transit_domains = 4,
+                                   .stubs_per_transit = 4,
+                                   .seed = 8008},
+                                  /*hosts_per_stub=*/2);
+  const auto& topo = net->topology();
+
+  bench::row("%-8s %-10s %-12s %-12s %-14s %-12s %-12s", "epoch", "UA",
+             "delivered", "mean-cost", "mean-stretch", "native-frac",
+             "vn-links");
+  std::size_t epoch = 0;
+  for (const auto& domain : topo.domains()) {
+    net->deploy_domain(domain.id);
+    net->converge();
+    ++epoch;
+    const auto report = core::verify_universal_access(*net, /*max_pairs=*/300);
+    std::size_t native = 0;
+    for (const auto& host : topo.hosts()) {
+      if (net->hosts().has_native_address(host.id)) ++native;
+    }
+    bench::row("%-8zu %-10s %zu/%-9zu %-12.2f %-14.3f %-12.3f %-12zu", epoch,
+               report.universal() ? "YES" : "NO", report.pairs_delivered,
+               report.pairs_checked, report.mean_cost, report.mean_stretch,
+               static_cast<double>(native) / static_cast<double>(topo.host_count()),
+               net->vnbone().virtual_links().size());
+  }
+
+  // Revenue-flow signal: share of anycast ingress traffic captured per
+  // deployed ISP at an intermediate stage would be the A4 argument; show
+  // it for the final state as a catchment distribution instead.
+  bench::subbanner("final catchment per ISP (assumption A4's traffic signal)");
+  const auto& group = net->anycast().group(net->vnbone().anycast_group());
+  const auto catchment = anycast::compute_catchment(net->network(), group);
+  std::vector<std::size_t> per_domain(topo.domain_count(), 0);
+  for (const auto& router : topo.routers()) {
+    const auto member = catchment.member[router.id.value()];
+    if (member.valid()) ++per_domain[topo.router(member).domain.value()];
+  }
+  for (const auto& domain : topo.domains()) {
+    if (per_domain[domain.id.value()] == 0) continue;
+    bench::row("  %-14s captures ingress for %3zu routers",
+               domain.name.c_str(), per_domain[domain.id.value()]);
+  }
+  bench::row(
+      "claim: universal access holds from the first adopter onwards; "
+      "stretch decays toward 1.0 and native addressing reaches 100%% at "
+      "full deployment.");
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  evo::evolution_run();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Experiment E2 (Figure 2): inter-domain anycast — Option 2 (default-ISP
+// rooted addresses) vs Option 1 (global non-aggregatable routes).
+//
+// Part A replays the figure: D default + Q deployed; X, Y land in D and Z
+// in Q; after the Q->Y peering advertisement, Y lands in Q.
+//
+// Part B quantifies the paper's trade-off at scale: Option 2 routes
+// "correctly, although imperfectly in terms of proximity"; peering
+// advertisement is "an optimization that leads to more improved
+// anycasting". We sweep the fraction of member domains that peer-advertise
+// to their neighbors, measuring stretch and the default domain's share of
+// the traffic ("the default provider ... receives a larger than normal
+// share of IPvN traffic").
+#include "bench_util.h"
+
+#include "anycast/resolver.h"
+#include "core/scenario.h"
+#include "sim/metrics.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+using net::NodeId;
+
+void figure_replay() {
+  bench::banner("E2/A: Figure 2 replay (default D, member Q, optional Q-Y peering)");
+  auto fig = core::make_figure2();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.d);
+  net.deploy_domain(fig.q);
+  net.converge();
+
+  auto serving = [&](net::HostId h) -> std::string {
+    const auto probe = anycast::probe(
+        net.network(), net.anycast().group(net.vnbone().anycast_group()),
+        net.topology().host(h).access_router);
+    if (!probe.delivered()) return "<none>";
+    return net.topology()
+        .domain(net.topology().router(probe.member).domain)
+        .name;
+  };
+
+  bench::row("%-22s %-8s %-8s %-8s", "stage", "from-X", "from-Y", "from-Z");
+  bench::row("%-22s %-8s %-8s %-8s", "before Q-Y peering",
+             serving(fig.host_x).c_str(), serving(fig.host_y).c_str(),
+             serving(fig.host_z).c_str());
+  net.anycast().advertise_via_peering(net.vnbone().anycast_group(), fig.q, fig.y);
+  net.converge();
+  bench::row("%-22s %-8s %-8s %-8s", "after Q-Y peering",
+             serving(fig.host_x).c_str(), serving(fig.host_y).c_str(),
+             serving(fig.host_z).c_str());
+}
+
+struct SweepResult {
+  double mean_stretch = 0.0;
+  double optimal_fraction = 0.0;
+  double default_share = 0.0;
+  double delivered = 0.0;
+  double mean_anycast_rib = 0.0;  // per-border BGP state for this group
+};
+
+SweepResult measure(EvolvableInternet& net) {
+  // The relevant group is the last one created (the vN-Bone's, or the
+  // manually built GIA group).
+  const auto& group = net.anycast().group(
+      net::GroupId{static_cast<std::uint32_t>(net.anycast().group_count() - 1)});
+  const auto catchment = anycast::compute_catchment(net.network(), group);
+  SweepResult result;
+  result.mean_stretch = catchment.mean_stretch;
+  result.optimal_fraction = catchment.optimal_fraction;
+  result.delivered = catchment.delivered_fraction;
+  std::size_t to_default = 0;
+  std::size_t total = 0;
+  for (const auto& router : net.topology().routers()) {
+    const NodeId member = catchment.member[router.id.value()];
+    if (!member.valid()) continue;
+    ++total;
+    const DomainId default_domain = net.vnbone().anycast_group().valid()
+                                        ? net.vnbone().default_domain()
+                                        : group.config.default_domain;
+    if (net.topology().router(member).domain == default_domain) {
+      ++to_default;
+    }
+  }
+  result.default_share =
+      total == 0 ? 0.0 : static_cast<double>(to_default) / static_cast<double>(total);
+  sim::Summary rib;
+  for (const auto& router : net.topology().routers()) {
+    if (!router.border) continue;
+    rib.add(static_cast<double>(net.bgp().loc_rib_size(router.id, true)));
+  }
+  result.mean_anycast_rib = rib.mean();
+  return result;
+}
+
+void deploy_every_third(EvolvableInternet& net) {
+  const auto& domains = net.topology().domains();
+  for (std::size_t i = 0; i < domains.size(); i += 3) {
+    net.deploy_domain(domains[i].id);
+  }
+  net.converge();
+}
+
+/// GIA variant: build the group directly (bypassing the vN-Bone's lazy
+/// group creation) so the search radius can be configured, then enroll
+/// every third domain's routers.
+void deploy_every_third_gia(EvolvableInternet& net, std::uint8_t radius) {
+  const auto& domains = net.topology().domains();
+  anycast::GroupConfig config;
+  config.mode = anycast::InterDomainMode::kGia;
+  config.default_domain = domains[0].id;
+  config.gia_search_radius = radius;
+  const auto g = net.anycast().create_group(config);
+  for (std::size_t i = 0; i < domains.size(); i += 3) {
+    for (const net::NodeId r : domains[i].routers) {
+      net.anycast().add_member(g, r);
+    }
+  }
+  net.converge();
+}
+
+void scaled_sweep() {
+  bench::banner(
+      "E2/B: option-2 peer-advertisement sweep vs option-1 global routes "
+      "(transit-stub, 24 domains, 1/3 deployed)");
+  bench::row("%-28s %-14s %-14s %-16s %-10s %-12s", "configuration",
+             "mean-stretch", "optimal-frac", "default-share", "delivered",
+             "anycast-rib");
+
+  const net::TransitStubParams params{.transit_domains = 6,
+                                      .stubs_per_transit = 3,
+                                      .seed = 2002};
+
+  // Option 2 with increasing peering-advertisement coverage.
+  for (const double advertise_fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::Options options;
+    options.vnbone.anycast_mode = anycast::InterDomainMode::kDefaultRoute;
+    auto net = bench::make_internet(params, 0, options);
+    deploy_every_third(*net);
+    // Member domains peer-advertise to a prefix of their neighbors.
+    sim::Rng rng{7};
+    for (const DomainId member_domain : net->vnbone().deployed_domains()) {
+      if (member_domain == net->vnbone().default_domain()) continue;
+      for (const auto& peering : net->topology().domain(member_domain).peerings) {
+        if (rng.uniform() < advertise_fraction) {
+          net->anycast().advertise_via_peering(net->vnbone().anycast_group(),
+                                               member_domain, peering.neighbor);
+        }
+      }
+    }
+    net->converge();
+    const auto m = measure(*net);
+    char label[64];
+    std::snprintf(label, sizeof label, "option-2, %3.0f%% peering adv",
+                  advertise_fraction * 100);
+    bench::row("%-28s %-14.3f %-14.3f %-16.3f %-10.3f %-12.2f", label,
+               m.mean_stretch, m.optimal_fraction, m.default_share, m.delivered,
+               m.mean_anycast_rib);
+  }
+
+  // GIA baseline (radius sweep).
+  for (const std::uint8_t radius : {1, 2, 4}) {
+    core::Options options;
+    options.vnbone.anycast_mode = anycast::InterDomainMode::kGia;
+    auto net = bench::make_internet(params, 0, options);
+    // Patch the group's search radius before deployment: GIA groups are
+    // created lazily at first deployment, so configure via the vnbone's
+    // anycast mode and re-create membership with the radius.
+    deploy_every_third_gia(*net, radius);
+    const auto m = measure(*net);
+    char label[64];
+    std::snprintf(label, sizeof label, "GIA, search radius %u", radius);
+    bench::row("%-28s %-14.3f %-14.3f %-16.3f %-10.3f %-12.2f", label,
+               m.mean_stretch, m.optimal_fraction, m.default_share, m.delivered,
+               m.mean_anycast_rib);
+  }
+
+  // Option 1 baseline.
+  {
+    core::Options options;
+    options.vnbone.anycast_mode = anycast::InterDomainMode::kGlobalRoutes;
+    auto net = bench::make_internet(params, 0, options);
+    deploy_every_third(*net);
+    const auto m = measure(*net);
+    bench::row("%-28s %-14.3f %-14.3f %-16.3f %-10.3f %-12.2f",
+               "option-1, global routes", m.mean_stretch, m.optimal_fraction,
+               m.default_share, m.delivered, m.mean_anycast_rib);
+  }
+  bench::row(
+      "claim: option 2 delivers correctly everywhere; without peering the "
+      "default domain is a hotspot (large default-share) and proximity is "
+      "imperfect. Peering advertisement drains the hotspot and raises the "
+      "optimal fraction; at 100%% coverage it reproduces option 1 exactly. "
+      "GIA matches option-1 proximity in this dense core (members are "
+      "always within the search radius) while bounding how far each /32 "
+      "travels — the rib column shows the state saving at radius 1.");
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  evo::figure_replay();
+  evo::scaled_sweep();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment E4 (Figure 4): advertising-by-proxy.
+//
+// Part A replays the figure: A, B, C deployed; M, N, Z legacy; the
+// expensive legacy chain A-M-N-Z loses to the cheap deployed chain
+// A-B-C-Z once B and C advertise their BGPv(N-1) distance to Z into
+// BGPvN.
+//
+// Part B scales it: total path cost to legacy destinations with and
+// without proxy advertisement, as the deployment fraction grows.
+#include "bench_util.h"
+
+#include "core/scenario.h"
+#include "core/trace.h"
+#include "sim/metrics.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using vnbone::EgressMode;
+
+void figure_replay() {
+  bench::banner("E4/A: Figure 4 replay (A -> Z with and without proxy)");
+  auto fig = core::make_figure4();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.a);
+  net.deploy_domain(fig.b);
+  net.deploy_domain(fig.c);
+  net.converge();
+
+  bench::row("%-24s %-12s %-12s %-12s", "mode", "egress-ISP", "total-cost",
+             "vn-hops");
+  for (const EgressMode mode :
+       {EgressMode::kOwnPathKnowledge, EgressMode::kProxyAdvertising}) {
+    const auto trace = core::send_ipvn(net, fig.src, fig.dst, mode);
+    bench::row("%-24s %-12s %-12llu %-12zu", to_string(mode),
+               trace.delivered
+                   ? net.topology()
+                         .domain(net.topology().router(trace.egress).domain)
+                         .name.c_str()
+                   : "<failed>",
+               static_cast<unsigned long long>(trace.total_cost()),
+               trace.vn_route.vn_hop_count());
+  }
+}
+
+void scaled_sweep() {
+  bench::banner(
+      "E4/B: mean cost to legacy destinations vs deployment fraction "
+      "(transit-stub, 24 domains)");
+  bench::row("%-12s %-20s %-20s %-12s", "deployed", "cost-no-proxy",
+             "cost-with-proxy", "improvement");
+
+  auto net = bench::make_internet({.transit_domains = 6,
+                                   .stubs_per_transit = 3,
+                                   .seed = 4004},
+                                  /*hosts_per_stub=*/1);
+  const auto& domains = net->topology().domains();
+  std::size_t deployed = 0;
+  for (const auto& domain : domains) {
+    net->deploy_domain(domain.id);
+    net->converge();
+    ++deployed;
+    sim::Summary no_proxy;
+    sim::Summary with_proxy;
+    const auto& hosts = net->topology().hosts();
+    for (const auto& src : hosts) {
+      for (const auto& dst : hosts) {
+        if (src.id == dst.id) continue;
+        // Only legacy destinations exercise proxy advertising.
+        const auto dst_domain =
+            net->topology().router(net->topology().host(dst.id).access_router).domain;
+        if (net->vnbone().domain_deployed(dst_domain)) continue;
+        const auto a =
+            core::send_ipvn(*net, src.id, dst.id, EgressMode::kOwnPathKnowledge);
+        const auto b =
+            core::send_ipvn(*net, src.id, dst.id, EgressMode::kProxyAdvertising);
+        if (!a.delivered || !b.delivered) continue;
+        no_proxy.add(static_cast<double>(a.total_cost()));
+        with_proxy.add(static_cast<double>(b.total_cost()));
+      }
+    }
+    if (no_proxy.empty()) {
+      bench::row("%-12zu (all destinations deployed; proxy moot)", deployed);
+      continue;
+    }
+    bench::row("%-12zu %-20.2f %-20.2f %-12.3f", deployed, no_proxy.mean(),
+               with_proxy.mean(),
+               no_proxy.mean() > 0 ? 1.0 - with_proxy.mean() / no_proxy.mean()
+                                   : 0.0);
+  }
+  bench::row(
+      "claim: proxy advertisement rescues destinations that are invisible "
+      "from the ingress's own BGPv(N-1) path (early deployment; Figure 4's "
+      "A->Z) and tracks own-path performance elsewhere — its coarse AS-hop "
+      "metric can cost a few percent at high deployment, the price of "
+      "advertising reachability rather than true distance.");
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  evo::figure_replay();
+  evo::scaled_sweep();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment E12 (§2.1, assumption A4): the incentive structure, measured
+// as traffic flows.
+//
+// Part A — early-adopter advantage: with a fixed IPvN workload, compare
+// the traffic a transit ISP attracts (vN ingress + settlement-bearing
+// transit hops) when it is the sole deployer vs when it has not deployed.
+//
+// Part B — competitive erosion: the early adopter's captured share as
+// competitors deploy one by one ("late-adopting ISPs will do so only if
+// they feel they are at a competitive disadvantage without it").
+#include "bench_util.h"
+
+#include "core/economics.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+
+void early_adopter_advantage() {
+  bench::banner(
+      "E12/A: traffic attracted by deploying (transit-stub, 20 domains, "
+      "all-pairs IPv8 workload)");
+  bench::row("%-28s %-12s %-14s %-12s", "scenario (for transit-1)", "vn-ingress",
+             "transit-hops", "delivered");
+
+  // Scenario 1: transit-1 does NOT deploy (transit-0 is the only deployer).
+  {
+    auto net = bench::make_internet({.transit_domains = 4,
+                                     .stubs_per_transit = 4,
+                                     .seed = 12012},
+                                    /*hosts_per_stub=*/2);
+    net->deploy_domain(DomainId{0});
+    net->converge();
+    const auto account = core::account_ipvn_traffic(*net);
+    const auto& t = account.domain(DomainId{1});
+    bench::row("%-28s %-12llu %-14llu %llu/%llu", "stays legacy",
+               static_cast<unsigned long long>(t.vn_ingress),
+               static_cast<unsigned long long>(t.transit_hops),
+               static_cast<unsigned long long>(account.flows_delivered),
+               static_cast<unsigned long long>(account.flows_attempted));
+  }
+  // Scenario 2: transit-1 deploys too.
+  {
+    auto net = bench::make_internet({.transit_domains = 4,
+                                     .stubs_per_transit = 4,
+                                     .seed = 12012},
+                                    /*hosts_per_stub=*/2);
+    net->deploy_domain(DomainId{0});
+    net->deploy_domain(DomainId{1});
+    net->converge();
+    const auto account = core::account_ipvn_traffic(*net);
+    const auto& t = account.domain(DomainId{1});
+    bench::row("%-28s %-12llu %-14llu %llu/%llu", "deploys IPv8",
+               static_cast<unsigned long long>(t.vn_ingress),
+               static_cast<unsigned long long>(t.transit_hops),
+               static_cast<unsigned long long>(account.flows_delivered),
+               static_cast<unsigned long long>(account.flows_attempted));
+  }
+  bench::row(
+      "claim: deploying turns an ISP into a vN ingress for its whole "
+      "catchment (A4's \"attracts new traffic\" => settlement revenue).");
+}
+
+void competitive_erosion() {
+  bench::banner(
+      "E12/B: the early adopter's ingress share as competitors deploy");
+  bench::row("%-12s %-22s %-22s", "deployers", "adopter-ingress-share",
+             "adopter-transit-hops");
+
+  auto net = bench::make_internet({.transit_domains = 4,
+                                   .stubs_per_transit = 4,
+                                   .seed = 12013},
+                                  /*hosts_per_stub=*/2);
+  const auto& domains = net->topology().domains();
+  std::size_t deployers = 0;
+  for (const auto& d : domains) {
+    if (d.stub) continue;
+    net->deploy_domain(d.id);
+    net->converge();
+    ++deployers;
+    const auto account = core::account_ipvn_traffic(*net);
+    const auto& adopter = account.domain(DomainId{0});
+    const double share =
+        account.flows_delivered == 0
+            ? 0.0
+            : static_cast<double>(adopter.vn_ingress) /
+                  static_cast<double>(account.flows_delivered);
+    bench::row("%-12zu %-22.3f %-22llu", deployers, share,
+               static_cast<unsigned long long>(adopter.transit_hops));
+  }
+  bench::row(
+      "claim: the first mover's monopoly on IPvN ingress erodes as rivals "
+      "deploy — the competitive pressure that keeps evolution moving.");
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  evo::early_adopter_advantage();
+  evo::competitive_erosion();
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Experiment E9: substrate microbenchmarks (google-benchmark).
+//
+// FIB longest-prefix match, Dijkstra/SPF, trace throughput, and control
+// plane convergence (LS flooding, DV settling, BGP propagation) — the
+// costs that bound how large the scenario experiments can scale.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+#include "igp/distance_vector.h"
+#include "igp/link_state.h"
+#include "net/fib.h"
+#include "net/topology_gen.h"
+
+namespace evo {
+namespace {
+
+void BM_FibLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  net::Fib fib;
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    net::FibEntry e;
+    e.prefix = net::Prefix{net::Ipv4Addr{(i + 1) << 16}, 16};
+    e.next_hop = net::NodeId{i};
+    fib.insert(e);
+  }
+  sim::Rng rng{1};
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto addr = net::Ipv4Addr{static_cast<std::uint32_t>(
+        ((rng.next_u64() % entries + 1) << 16) | 7)};
+    hits += fib.lookup(addr) != nullptr;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FibLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_FibInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Fib fib;
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      net::FibEntry e;
+      e.prefix = net::Prefix{net::Ipv4Addr{(i + 1) << 16}, 16};
+      e.next_hop = net::NodeId{i};
+      fib.insert(e);
+    }
+    benchmark::DoNotOptimize(fib.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FibInsert);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto topo = net::single_domain_grid(n, n);
+  const auto graph = topo.physical_graph();
+  for (auto _ : state) {
+    const auto paths = net::dijkstra(graph, net::NodeId{0});
+    benchmark::DoNotOptimize(paths.distance.back());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Dijkstra)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DataPlaneTrace(benchmark::State& state) {
+  core::EvolvableInternet net(net::single_domain_grid(8, 8));
+  net.start();
+  const auto& routers = net.topology().domain(net::DomainId{0}).routers;
+  const auto dst = net.topology().router(routers.back()).loopback;
+  for (auto _ : state) {
+    const auto trace = net.network().trace(routers.front(), dst);
+    benchmark::DoNotOptimize(trace.cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataPlaneTrace);
+
+void BM_LinkStateConvergence(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Topology topo;
+    const auto d = topo.add_domain("d");
+    sim::Rng rng{42};
+    net::populate_domain(topo, d, {.routers = n, .chord_probability = 0.3}, rng);
+    sim::Simulator simulator;
+    net::Network network(std::move(topo));
+    igp::LinkStateIgp igp(simulator, network, d);
+    state.ResumeTiming();
+    igp.start();
+    simulator.run();
+    benchmark::DoNotOptimize(igp.messages_sent());
+  }
+}
+BENCHMARK(BM_LinkStateConvergence)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DistanceVectorConvergence(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Topology topo;
+    const auto d = topo.add_domain("d");
+    sim::Rng rng{42};
+    net::populate_domain(topo, d, {.routers = n, .chord_probability = 0.3}, rng);
+    sim::Simulator simulator;
+    net::Network network(std::move(topo));
+    igp::DistanceVectorIgp igp(simulator, network, d);
+    state.ResumeTiming();
+    igp.start();
+    simulator.run();
+    benchmark::DoNotOptimize(igp.messages_sent());
+  }
+}
+BENCHMARK(BM_DistanceVectorConvergence)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BgpConvergence(benchmark::State& state) {
+  const auto domains = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto topo = net::generate_transit_stub(
+        {.transit_domains = domains / 4 + 1,
+         .stubs_per_transit = 3,
+         .seed = 11});
+    auto net = std::make_unique<core::EvolvableInternet>(std::move(topo));
+    state.ResumeTiming();
+    net->start();
+    benchmark::DoNotOptimize(net->bgp().messages_sent());
+  }
+}
+BENCHMARK(BM_BgpConvergence)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_VnBoneRebuild(benchmark::State& state) {
+  auto topo = net::generate_transit_stub(
+      {.transit_domains = 4, .stubs_per_transit = 3, .seed = 13});
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  for (const auto& d : net.topology().domains()) net.deploy_domain(d.id);
+  net.converge();
+  for (auto _ : state) {
+    net.vnbone().rebuild();
+    benchmark::DoNotOptimize(net.vnbone().virtual_links().size());
+  }
+  state.SetLabel(std::to_string(net.vnbone().deployed_routers().size()) +
+                 " routers");
+}
+BENCHMARK(BM_VnBoneRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSend(benchmark::State& state) {
+  auto topo = net::generate_transit_stub(
+      {.transit_domains = 2, .stubs_per_transit = 2, .seed = 17});
+  sim::Rng rng{17};
+  net::attach_hosts(topo, 2, rng);
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  net.deploy_domain(net::DomainId{0});
+  net.converge();
+  for (auto _ : state) {
+    const auto trace = core::send_ipvn(net, net::HostId{0}, net::HostId{7});
+    benchmark::DoNotOptimize(trace.delivered);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndSend);
+
+}  // namespace
+}  // namespace evo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment benchmarks: internet builders, table
+// printing, and sweep drivers. Each bench binary regenerates one
+// experiment row of EXPERIMENTS.md (see DESIGN.md §4 for the index).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evolvable_internet.h"
+#include "net/topology_gen.h"
+
+namespace evo::bench {
+
+/// A transit-stub Internet with hosts, started and converged.
+inline std::unique_ptr<core::EvolvableInternet> make_internet(
+    const net::TransitStubParams& params, std::uint32_t hosts_per_stub,
+    core::Options options = {}) {
+  auto topo = net::generate_transit_stub(params);
+  sim::Rng rng{params.seed ^ 0xB0B};
+  if (hosts_per_stub > 0) net::attach_hosts(topo, hosts_per_stub, rng);
+  auto internet =
+      std::make_unique<core::EvolvableInternet>(std::move(topo), options);
+  internet->start();
+  return internet;
+}
+
+/// printf into a row of the experiment table.
+inline void row(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Section banner for a bench's output.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subbanner(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+}  // namespace evo::bench
+
+/// Hard requirement inside a bench scenario: abort loudly if violated
+/// (benches are not tests, but silently wrong scenarios poison results).
+#define EVO_BENCH_REQUIRE(cond)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "bench requirement failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,99 @@
+// IPv8 rollout planner: the paper's evolution story as an operator tool.
+//
+// Simulates a staged IPv8 rollout across a transit-stub Internet in three
+// adoption waves (early adopter -> competitive followers -> laggards),
+// reporting after every wave the numbers an operator would actually watch:
+// universal access, user-visible stretch, how much traffic each deployed
+// ISP attracts (the revenue signal of assumption A4), and routing state.
+#include <cstdio>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "core/universal_access.h"
+#include "net/topology_gen.h"
+
+using namespace evo;
+
+namespace {
+
+void report_wave(const char* wave, core::EvolvableInternet& net) {
+  const auto ua = core::verify_universal_access(net, /*max_pairs=*/400);
+  std::printf("\n[%s] deployed domains: %zu / %zu\n", wave,
+              net.vnbone().deployed_domains().size(),
+              net.topology().domain_count());
+  std::printf("  universal access: %s (%zu/%zu pairs)\n",
+              ua.universal() ? "YES" : "NO", ua.pairs_delivered, ua.pairs_checked);
+  std::printf("  mean end-to-end stretch vs physical optimum: %.3f\n",
+              ua.mean_stretch);
+
+  // Traffic attraction: which ISPs capture ingress traffic (A4: "an ISP
+  // that attracts new traffic, by offering IPvN, will also gain revenue").
+  const auto& group = net.anycast().group(net.vnbone().anycast_group());
+  const auto catchment = anycast::compute_catchment(net.network(), group);
+  std::vector<std::size_t> share(net.topology().domain_count(), 0);
+  for (const auto& router : net.topology().routers()) {
+    const auto member = catchment.member[router.id.value()];
+    if (member.valid()) ++share[net.topology().router(member).domain.value()];
+  }
+  std::printf("  top traffic-attracting ISPs:");
+  for (int shown = 0; shown < 3; ++shown) {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < share.size(); ++d) {
+      if (share[d] > share[best]) best = d;
+    }
+    if (share[best] == 0) break;
+    std::printf(" %s(%zu)", net.topology().domain(net::DomainId{
+                               static_cast<std::uint32_t>(best)}).name.c_str(),
+                share[best]);
+    share[best] = 0;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto topo = net::generate_transit_stub({.transit_domains = 4,
+                                          .stubs_per_transit = 4,
+                                          .seed = 20260706});
+  sim::Rng rng{20260706};
+  net::attach_hosts(topo, 2, rng);
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  std::printf("base Internet: %zu domains, %zu routers, %zu links, %zu hosts\n",
+              net.topology().domain_count(), net.topology().router_count(),
+              net.topology().link_count(), net.topology().host_count());
+
+  const auto& domains = net.topology().domains();
+
+  // Wave 1: a single early-adopter transit deploys, betting on attracting
+  // encapsulated IPv8 traffic from everywhere.
+  net.deploy_domain(domains[0].id);
+  net.converge();
+  report_wave("wave 1: early adopter", net);
+
+  // Wave 2: competing transits follow (they are losing settlement traffic
+  // to the early adopter).
+  for (const auto& d : domains) {
+    if (!d.stub) net.deploy_domain(d.id);
+  }
+  net.converge();
+  report_wave("wave 2: transit competition", net);
+
+  // Wave 3: stubs adopt as IPv8-aware applications appear; their hosts
+  // flip from self-addresses to provider-allocated native addresses.
+  for (const auto& d : domains) net.deploy_domain(d.id);
+  net.converge();
+  report_wave("wave 3: full adoption", net);
+
+  std::size_t native = 0;
+  for (const auto& host : net.topology().hosts()) {
+    if (net.hosts().has_native_address(host.id)) ++native;
+  }
+  std::printf("\nnative IPv8 addresses: %zu / %zu hosts\n", native,
+              net.topology().host_count());
+  std::printf("vN-Bone: %zu virtual links over %zu deployed routers\n",
+              net.vnbone().virtual_links().size(),
+              net.vnbone().deployed_routers().size());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Latency observatory: event-driven IPv8 datagrams with real simulated
+// latency, watched across deployment stages.
+//
+// Uses the IpvnTransport (socket-style API): hosts register receive
+// callbacks, senders fire datagrams, and the simulator clock accrues link
+// latencies hop by hop — including the detour through a remote IPv8
+// ingress when the local ISP has not deployed yet. As deployment spreads,
+// the detour (and the latency) shrinks; clients change nothing.
+#include <cstdio>
+
+#include "core/transport.h"
+#include "net/topology_gen.h"
+#include "sim/metrics.h"
+
+using namespace evo;
+
+int main() {
+  auto topo = net::generate_transit_stub({.transit_domains = 3,
+                                          .stubs_per_transit = 3,
+                                          .seed = 31337});
+  sim::Rng rng{31337};
+  net::attach_hosts(topo, 2, rng);
+  core::EvolvableInternet internet(std::move(topo));
+  internet.start();
+  core::IpvnTransport transport(internet);
+
+  const auto& hosts = internet.topology().hosts();
+  sim::Summary* sink = nullptr;
+  for (const auto& host : hosts) {
+    transport.listen(host.id, [&sink](net::HostId, net::HostId, std::uint64_t,
+                                      sim::Duration latency) {
+      if (sink != nullptr) sink->add(latency.count_millis());
+    });
+  }
+
+  std::printf("%-28s %-10s %-12s %-12s %-12s\n", "deployment stage", "sent",
+              "mean-ms", "p95-ms", "failed");
+  const char* stages[] = {"one transit", "all transits", "everything"};
+  int stage_index = 0;
+  auto run_stage = [&](const char* label) {
+    sim::Summary latencies;
+    sink = &latencies;
+    std::uint64_t payload = 0;
+    const auto failed_before = transport.datagrams_failed();
+    for (const auto& src : hosts) {
+      for (const auto& dst : hosts) {
+        if (src.id == dst.id) continue;
+        transport.send(src.id, dst.id, ++payload);
+      }
+    }
+    internet.simulator().run();
+    sink = nullptr;
+    std::printf("%-28s %-10llu %-12.2f %-12.2f %llu\n", label,
+                static_cast<unsigned long long>(payload), latencies.mean(),
+                latencies.percentile(95),
+                static_cast<unsigned long long>(transport.datagrams_failed() -
+                                                failed_before));
+  };
+
+  const auto& domains = internet.topology().domains();
+  internet.deploy_domain(domains[0].id);
+  internet.converge();
+  run_stage(stages[stage_index++]);
+
+  for (const auto& d : domains) {
+    if (!d.stub) internet.deploy_domain(d.id);
+  }
+  internet.converge();
+  run_stage(stages[stage_index++]);
+
+  for (const auto& d : domains) internet.deploy_domain(d.id);
+  internet.converge();
+  run_stage(stages[stage_index++]);
+
+  std::printf(
+      "\nLatency falls as the anycast ingress moves closer — with zero\n"
+      "changes at any host. %llu datagrams delivered event-by-event.\n",
+      static_cast<unsigned long long>(transport.datagrams_received()));
+  return 0;
+}

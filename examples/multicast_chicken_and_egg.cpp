@@ -1,0 +1,75 @@
+// The IP Multicast chicken-and-egg, quantified (paper §2.1).
+//
+// "Even had a major ISP (say Sprint) deployed multicast, this new
+// functionality would only have been available to Sprint's customers.
+// ... If instead, any endhost had been able to access Sprint's multicast
+// services, then application developers might have been more willing to
+// experiment with the service."
+//
+// We compare the addressable market of a new IP service under two access
+// regimes as adoption spreads:
+//   walled-garden: only hosts whose OWN ISP deployed can use the service
+//                  (historical multicast);
+//   universal:     any host can use it through anycast redirection
+//                  (this paper).
+// The market size is the fraction of host pairs that can communicate over
+// the new service — what a CNN-style application developer cares about.
+#include <cstdio>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+#include "net/topology_gen.h"
+
+using namespace evo;
+
+int main() {
+  auto topo = net::generate_transit_stub({.transit_domains = 3,
+                                          .stubs_per_transit = 4,
+                                          .seed = 777});
+  sim::Rng rng{777};
+  net::attach_hosts(topo, 2, rng);
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  const auto& hosts = net.topology().hosts();
+  const double all_pairs =
+      static_cast<double>(hosts.size() * (hosts.size() - 1));
+
+  std::printf("addressable market for a new IP service vs adoption\n");
+  std::printf("%-10s %-18s %-18s %-10s\n", "deployed", "walled-garden",
+              "universal-access", "ratio");
+
+  for (const auto& domain : net.topology().domains()) {
+    net.deploy_domain(domain.id);
+    net.converge();
+
+    // Walled garden: both endpoints' ISPs must have deployed.
+    std::size_t walled = 0;
+    std::size_t universal = 0;
+    for (const auto& src : hosts) {
+      for (const auto& dst : hosts) {
+        if (src.id == dst.id) continue;
+        const auto src_domain =
+            net.topology().router(src.access_router).domain;
+        const auto dst_domain =
+            net.topology().router(dst.access_router).domain;
+        if (net.vnbone().domain_deployed(src_domain) &&
+            net.vnbone().domain_deployed(dst_domain)) {
+          ++walled;
+        }
+        // Universal access: the actual mechanism delivers it.
+        if (core::send_ipvn(net, src.id, dst.id).delivered) ++universal;
+      }
+    }
+    const double w = static_cast<double>(walled) / all_pairs;
+    const double u = static_cast<double>(universal) / all_pairs;
+    std::printf("%-10zu %-18.3f %-18.3f %-10.1f\n",
+                net.vnbone().deployed_domains().size(), w, u,
+                w > 0 ? u / w : std::numeric_limits<double>::infinity());
+  }
+
+  std::printf(
+      "\nWith universal access the addressable market is 100%% from the\n"
+      "first adopter onward; the walled garden grows only quadratically\n"
+      "in adoption — the chicken-and-egg that killed IP Multicast.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "anycast/resolver.h"
+
+namespace evo::anycast {
+
+using net::Cost;
+using net::NodeId;
+
+ClosestMemberOracle::ClosestMemberOracle(const net::Topology& topology,
+                                         const Group& group) {
+  const net::Graph graph = topology.physical_graph();
+  std::vector<NodeId> members(group.members.begin(), group.members.end());
+  paths_ = net::dijkstra(graph, members);
+}
+
+Probe probe(const net::Network& network, const Group& group, NodeId source,
+            const ClosestMemberOracle& oracle) {
+  Probe result;
+  result.trace = network.trace(source, group.address);
+  if (result.trace.delivered()) {
+    result.member = result.trace.delivered_at;
+  }
+  result.optimal_cost = oracle.distance_from(source);
+  result.optimal_member = oracle.member_for(source);
+  if (result.trace.delivered()) {
+    if (result.optimal_cost == 0) {
+      // Source is itself a member; any nonzero trace cost would be a
+      // mechanism bug, flagged loudly as stretch 0 in aggregates.
+      result.stretch = result.trace.cost == 0 ? 1.0 : 0.0;
+    } else if (result.optimal_cost != net::kInfiniteCost) {
+      result.stretch = static_cast<double>(result.trace.cost) /
+                       static_cast<double>(result.optimal_cost);
+    }
+  }
+  return result;
+}
+
+Probe probe(const net::Network& network, const Group& group, NodeId source) {
+  const ClosestMemberOracle oracle(network.topology(), group);
+  return probe(network, group, source, oracle);
+}
+
+Catchment compute_catchment(const net::Network& network, const Group& group) {
+  Catchment catchment;
+  const auto& topo = network.topology();
+  catchment.member.assign(topo.router_count(), NodeId::invalid());
+  if (group.members.empty()) return catchment;
+
+  const ClosestMemberOracle oracle(topo, group);
+  std::size_t delivered = 0;
+  std::size_t optimal = 0;
+  double stretch_sum = 0.0;
+  for (const auto& router : topo.routers()) {
+    const Probe p = probe(network, group, router.id, oracle);
+    if (!p.delivered()) continue;
+    ++delivered;
+    catchment.member[router.id.value()] = p.member;
+    if (p.member == p.optimal_member ||
+        p.trace.cost == p.optimal_cost) {
+      ++optimal;
+    }
+    stretch_sum += p.stretch;
+  }
+  const double n = static_cast<double>(topo.router_count());
+  catchment.delivered_fraction = n == 0 ? 0.0 : static_cast<double>(delivered) / n;
+  catchment.optimal_fraction =
+      delivered == 0 ? 0.0 : static_cast<double>(optimal) / static_cast<double>(delivered);
+  catchment.mean_stretch =
+      delivered == 0 ? 0.0 : stretch_sum / static_cast<double>(delivered);
+  return catchment;
+}
+
+}  // namespace evo::anycast

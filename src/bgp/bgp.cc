@@ -1,0 +1,510 @@
+#include "bgp/bgp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace evo::bgp {
+
+using net::Cost;
+using net::DomainId;
+using net::FibEntry;
+using net::LinkId;
+using net::NodeId;
+using net::Prefix;
+using net::Relationship;
+using net::RouteOrigin;
+
+const char* to_string(LearnedFrom learned) {
+  switch (learned) {
+    case LearnedFrom::kSelf: return "self";
+    case LearnedFrom::kCustomer: return "customer";
+    case LearnedFrom::kPeer: return "peer";
+    case LearnedFrom::kProvider: return "provider";
+  }
+  return "?";
+}
+
+std::string Route::describe() const {
+  std::string out = prefix.to_string() + " path[";
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(as_path[i].value());
+  }
+  out += "] pref=" + std::to_string(local_pref);
+  out += std::string(" from=") + to_string(learned);
+  if (anycast) out += " anycast";
+  if (no_export) out += " no-export";
+  return out;
+}
+
+BgpSystem::BgpSystem(sim::Simulator& simulator, net::Network& network,
+                     std::function<const igp::Igp*(net::DomainId)> igp_of,
+                     BgpConfig config)
+    : simulator_(simulator),
+      network_(network),
+      igp_of_(std::move(igp_of)),
+      config_(config) {
+  const auto& topo = network_.topology();
+  // Every border router is a speaker.
+  for (const auto& router : topo.routers()) {
+    if (router.border) {
+      SpeakerState st;
+      st.domain = router.domain;
+      speakers_.emplace(router.id.value(), std::move(st));
+    }
+  }
+  // eBGP sessions over inter-domain links.
+  for (const auto& link : topo.links()) {
+    if (!link.interdomain) continue;
+    const auto rel_of_b = topo.relationship(topo.router(link.a).domain,
+                                            topo.router(link.b).domain);
+    assert(rel_of_b.has_value());
+    const std::size_t ab = sessions_.size();
+    sessions_.push_back(Session{link.a, link.b, link.id, *rel_of_b, false});
+    speaker(link.a).sessions.push_back(ab);
+    const std::size_t ba = sessions_.size();
+    sessions_.push_back(Session{link.b, link.a, link.id, reverse(*rel_of_b), false});
+    speaker(link.b).sessions.push_back(ba);
+  }
+  // iBGP full mesh among each domain's border routers.
+  for (const auto& domain : topo.domains()) {
+    std::vector<NodeId> borders;
+    for (const NodeId r : domain.routers) {
+      if (topo.router(r).border) borders.push_back(r);
+    }
+    for (std::size_t i = 0; i < borders.size(); ++i) {
+      for (std::size_t j = 0; j < borders.size(); ++j) {
+        if (i == j) continue;
+        const std::size_t s = sessions_.size();
+        sessions_.push_back(Session{borders[i], borders[j], LinkId::invalid(),
+                                    Relationship::kPeer, /*ibgp=*/true});
+        speaker(borders[i]).sessions.push_back(s);
+      }
+    }
+  }
+}
+
+void BgpSystem::start() {
+  started_ = true;
+  // Each domain originates its own address block.
+  for (const auto& domain : network_.topology().domains()) {
+    originate(domain.id, domain.prefix);
+  }
+  // Flush anything originated before start() (its decide() could not
+  // schedule a send yet).
+  for (auto& [node, st] : speakers_) {
+    if (!st.dirty.empty()) schedule_send(NodeId{node});
+  }
+}
+
+void BgpSystem::originate(DomainId domain, Prefix prefix, OriginationPolicy policy) {
+  for (const NodeId node : speakers_of(domain)) {
+    auto& st = speaker(node);
+    st.originated[prefix] = policy;
+    Route route;
+    route.prefix = prefix;
+    route.as_path = {domain};
+    route.egress_router = node;
+    route.local_pref = local_pref_for(LearnedFrom::kSelf);
+    route.learned = LearnedFrom::kSelf;
+    route.no_export = policy.no_export;
+    route.propagation_ttl = policy.propagation_ttl;
+    route.anycast = policy.anycast;
+    st.adj_rib_in[{prefix, kSelfSession}] = route;
+    decide(node, prefix);
+    // A re-origination may change only export policy; the decision process
+    // cannot see that, so always force a (re-)advertisement pass.
+    st.dirty.insert(prefix);
+    schedule_send(node);
+  }
+}
+
+void BgpSystem::withdraw(DomainId domain, Prefix prefix) {
+  for (const NodeId node : speakers_of(domain)) {
+    auto& st = speaker(node);
+    st.originated.erase(prefix);
+    st.adj_rib_in.erase({prefix, kSelfSession});
+    decide(node, prefix);
+  }
+}
+
+std::vector<NodeId> BgpSystem::speakers_of(DomainId domain) const {
+  std::vector<NodeId> out;
+  for (const NodeId r : network_.topology().domain(domain).routers) {
+    if (network_.topology().router(r).border) out.push_back(r);
+  }
+  return out;  // domain.routers is in creation order == sorted
+}
+
+bool BgpSystem::preferred(const Route& a, const Route& b) {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path.size() != b.as_path.size()) return a.as_path.size() < b.as_path.size();
+  // Prefer eBGP-learned (and self) over iBGP-learned.
+  if (a.via_ibgp != b.via_ibgp) return b.via_ibgp;
+  // Deterministic tiebreaks: neighbor domain, then remote router, then
+  // egress router.
+  const DomainId an = a.as_path.empty() ? DomainId::invalid() : a.as_path.front();
+  const DomainId bn = b.as_path.empty() ? DomainId::invalid() : b.as_path.front();
+  if (an != bn) return an < bn;
+  if (a.ebgp_next_hop != b.ebgp_next_hop) return a.ebgp_next_hop < b.ebgp_next_hop;
+  return a.egress_router < b.egress_router;
+}
+
+void BgpSystem::decide(NodeId node, Prefix prefix) {
+  auto& st = speaker(node);
+  const Route* best = nullptr;
+  // Scan Adj-RIB-In for this prefix (keys are ordered, so the range is
+  // contiguous).
+  const auto lo = st.adj_rib_in.lower_bound({prefix, 0});
+  for (auto it = lo; it != st.adj_rib_in.end() && it->first.first == prefix; ++it) {
+    if (best == nullptr || preferred(it->second, *best)) best = &it->second;
+  }
+
+  const auto current = st.loc_rib.find(prefix);
+  const bool had = current != st.loc_rib.end();
+  if (best == nullptr) {
+    if (!had) return;
+    st.loc_rib.erase(current);
+  } else {
+    if (had && current->second.describe() == best->describe() &&
+        current->second.egress_router == best->egress_router &&
+        current->second.ebgp_next_hop == best->ebgp_next_hop &&
+        current->second.via_link == best->via_link) {
+      return;  // no effective change
+    }
+    st.loc_rib[prefix] = *best;
+  }
+  st.dirty.insert(prefix);
+  schedule_send(node);
+}
+
+bool BgpSystem::exportable(const SpeakerState& st, const Route& route,
+                           const Session& session) const {
+  if (session.ibgp) {
+    // iBGP: share only eBGP-learned or self-originated routes.
+    return !route.via_ibgp;
+  }
+  // eBGP rules.
+  if (route.no_export && route.learned != LearnedFrom::kSelf) return false;
+  // GIA-style scoped propagation: stop once the exported path would
+  // exceed the radius.
+  if (route.propagation_ttl > 0) {
+    const std::size_t exported_length =
+        route.learned == LearnedFrom::kSelf ? 1 : route.as_path.size() + 1;
+    if (exported_length > route.propagation_ttl) return false;
+  }
+  if (route.learned == LearnedFrom::kSelf) {
+    const auto policy = st.originated.find(route.prefix);
+    if (policy != st.originated.end() && policy->second.export_scope) {
+      const DomainId neighbor = network_.topology().router(session.remote).domain;
+      if (!policy->second.export_scope->contains(neighbor)) return false;
+    }
+    return true;
+  }
+  // Gao-Rexford: customer-learned exports everywhere; peer/provider-learned
+  // exports only to customers.
+  const bool from_customer = route.learned == LearnedFrom::kCustomer;
+  if (from_customer) return true;
+  return session.relationship == Relationship::kCustomer;
+}
+
+void BgpSystem::schedule_send(NodeId node) {
+  auto& st = speaker(node);
+  if (st.send_pending || !started_) return;
+  st.send_pending = true;
+  simulator_.schedule_after(config_.update_delay, [this, node] {
+    speaker(node).send_pending = false;
+    flush_updates(node);
+  });
+}
+
+void BgpSystem::flush_updates(NodeId node) {
+  auto& st = speaker(node);
+  const auto dirty = std::move(st.dirty);
+  st.dirty.clear();
+  for (const Prefix prefix : dirty) {
+    const auto best = st.loc_rib.find(prefix);
+    for (const std::size_t si : st.sessions) {
+      const Session& session = sessions_[si];
+      if (session.link.valid() && !network_.topology().link(session.link).up) continue;
+      Update update;
+      update.prefix = prefix;
+      if (best == st.loc_rib.end() || !exportable(st, best->second, session)) {
+        // Withdraw only where an advertisement actually exists.
+        if (st.adj_rib_out.erase({prefix, si}) == 0) continue;
+        update.withdraw = true;
+      } else {
+        st.adj_rib_out.insert({prefix, si});
+      }
+      if (!update.withdraw) {
+        update.as_path = best->second.as_path;
+        if (!session.ibgp) {
+          // Path was already prepended with our domain at origination time
+          // (self routes carry {domain}); for learned routes prepend now.
+          if (best->second.learned != LearnedFrom::kSelf) {
+            update.as_path.insert(update.as_path.begin(), st.domain);
+          }
+        }
+        update.no_export = best->second.no_export;
+        update.propagation_ttl = best->second.propagation_ttl;
+        update.anycast = best->second.anycast;
+      }
+      send(node, session.remote, si, std::move(update));
+    }
+  }
+}
+
+void BgpSystem::send(NodeId from, NodeId to, std::size_t session_index,
+                     Update update) {
+  const Session& session = sessions_[session_index];
+  const sim::Duration latency = session.ibgp
+                                    ? config_.ibgp_latency
+                                    : network_.topology().link(session.link).latency;
+  ++messages_sent_;
+  simulator_.schedule_after(latency, [this, from, to, session_index,
+                                      update = std::move(update)] {
+    const Session& s = sessions_[session_index];
+    if (s.link.valid() && !network_.topology().link(s.link).up) return;
+    receive(to, from, session_index, update);
+  });
+}
+
+void BgpSystem::receive(NodeId local, NodeId from, std::size_t session_index,
+                        Update update) {
+  auto& st = speaker(local);
+  // Find the reverse session to learn the relationship (sessions are
+  // created in pairs; the incoming view is the remote's perspective).
+  const Session& incoming = sessions_[session_index];
+  const bool ibgp = incoming.ibgp;
+
+  // The incoming session as seen from `local`: the reverse twin of
+  // `session_index` (sessions are created in adjacent pairs for eBGP; for
+  // iBGP, the peer's mirrored session). Identify it by scanning local's
+  // sessions for the matching remote + link.
+  const std::size_t in_session = [&]() -> std::size_t {
+    for (const std::size_t si : st.sessions) {
+      const Session& s = sessions_[si];
+      if (s.remote == from && s.ibgp == incoming.ibgp && s.link == incoming.link) {
+        return si;
+      }
+    }
+    return kSelfSession;  // unreachable in a consistent session graph
+  }();
+
+  if (update.withdraw) {
+    if (st.adj_rib_in.erase({update.prefix, in_session}) > 0) {
+      decide(local, update.prefix);
+    }
+    return;
+  }
+
+  // Loop prevention (eBGP): reject paths containing our own domain.
+  if (!ibgp && std::find(update.as_path.begin(), update.as_path.end(), st.domain) !=
+                   update.as_path.end()) {
+    return;
+  }
+
+  Route route;
+  route.prefix = update.prefix;
+  route.as_path = update.as_path;
+  route.no_export = update.no_export;
+  route.propagation_ttl = update.propagation_ttl;
+  route.anycast = update.anycast;
+  if (ibgp) {
+    // The sending border router remains the egress; the route keeps the
+    // Gao-Rexford class it had where it entered the domain, recomputed
+    // from the domain's relationship with the path's first AS hop.
+    route.via_ibgp = true;
+    route.egress_router = from;
+    const auto rel = network_.topology().relationship(
+        st.domain, route.as_path.empty() ? DomainId::invalid() : route.as_path.front());
+    route.learned = !rel                              ? LearnedFrom::kPeer
+                    : *rel == Relationship::kCustomer ? LearnedFrom::kCustomer
+                    : *rel == Relationship::kPeer     ? LearnedFrom::kPeer
+                                                      : LearnedFrom::kProvider;
+    route.local_pref = local_pref_for(route.learned);
+  } else {
+    const Relationship rel = in_session == kSelfSession
+                                 ? Relationship::kPeer
+                                 : sessions_[in_session].relationship;
+    route.learned = rel == Relationship::kCustomer  ? LearnedFrom::kCustomer
+                    : rel == Relationship::kPeer    ? LearnedFrom::kPeer
+                                                    : LearnedFrom::kProvider;
+    route.local_pref = local_pref_for(route.learned);
+    route.egress_router = local;
+    route.ebgp_next_hop = from;
+    route.via_link = incoming.link;
+  }
+
+  st.adj_rib_in[{update.prefix, in_session}] = std::move(route);
+  decide(local, update.prefix);
+}
+
+void BgpSystem::on_link_change(LinkId link_id) {
+  const auto& link = network_.topology().link(link_id);
+  if (!link.interdomain) return;
+  if (link.up) {
+    // Sessions re-establish: both ends re-advertise their full Loc-RIBs.
+    for (const NodeId end : {link.a, link.b}) {
+      auto& st = speaker(end);
+      for (const auto& [prefix, route] : st.loc_rib) st.dirty.insert(prefix);
+      schedule_send(end);
+    }
+  } else {
+    // Session down: drop routes learned over this link's sessions at both
+    // ends, and forget what was advertised over them.
+    for (const NodeId end : {link.a, link.b}) {
+      auto& st = speaker(end);
+      std::set<std::size_t> dead_sessions;
+      for (const std::size_t si : st.sessions) {
+        if (sessions_[si].link == link_id) dead_sessions.insert(si);
+      }
+      std::vector<Prefix> affected;
+      for (auto it = st.adj_rib_in.begin(); it != st.adj_rib_in.end();) {
+        if (dead_sessions.contains(it->first.second)) {
+          affected.push_back(it->first.first);
+          it = st.adj_rib_in.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = st.adj_rib_out.begin(); it != st.adj_rib_out.end();) {
+        if (dead_sessions.contains(it->second)) {
+          it = st.adj_rib_out.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const Prefix prefix : affected) decide(end, prefix);
+    }
+  }
+}
+
+const Route* BgpSystem::best_route(NodeId node, Prefix prefix) const {
+  if (!is_speaker(node)) return nullptr;
+  const auto& st = speaker(node);
+  const auto it = st.loc_rib.find(prefix);
+  return it == st.loc_rib.end() ? nullptr : &it->second;
+}
+
+std::vector<Prefix> BgpSystem::loc_rib_prefixes(NodeId node) const {
+  std::vector<Prefix> out;
+  if (!is_speaker(node)) return out;
+  for (const auto& [prefix, route] : speaker(node).loc_rib) out.push_back(prefix);
+  return out;
+}
+
+std::size_t BgpSystem::loc_rib_size(NodeId node, bool anycast_only) const {
+  if (!is_speaker(node)) return 0;
+  const auto& st = speaker(node);
+  if (!anycast_only) return st.loc_rib.size();
+  std::size_t count = 0;
+  for (const auto& [prefix, route] : st.loc_rib) {
+    if (route.anycast) ++count;
+  }
+  return count;
+}
+
+net::LinkId BgpSystem::connecting_link(NodeId a, NodeId b) const {
+  const auto& topo = network_.topology();
+  LinkId best = LinkId::invalid();
+  Cost best_cost = net::kInfiniteCost;
+  for (const LinkId link_id : topo.router(a).links) {
+    const auto& link = topo.link(link_id);
+    if (!link.up || link.other_end(a) != b) continue;
+    if (link.cost < best_cost) {
+      best = link_id;
+      best_cost = link.cost;
+    }
+  }
+  return best;
+}
+
+void BgpSystem::install_routes() {
+  const auto& topo = network_.topology();
+  for (const auto& domain : topo.domains()) {
+    const auto borders = speakers_of(domain.id);
+    if (borders.empty()) continue;
+    const igp::Igp* igp = igp_of_(domain.id);
+
+    // Union of prefixes any border router can reach.
+    std::set<Prefix> prefixes;
+    for (const NodeId b : borders) {
+      for (const auto& [prefix, route] : speaker(b).loc_rib) prefixes.insert(prefix);
+    }
+
+    for (const NodeId r : domain.routers) {
+      auto& fib = network_.fib(r);
+      fib.remove_origin(RouteOrigin::kBgp);
+      for (const Prefix prefix : prefixes) {
+        // Never install a BGP route for our own aggregate: intra-domain
+        // routing handles it.
+        if (prefix == domain.prefix) continue;
+        // Likewise skip any prefix this domain originates itself (e.g. an
+        // anycast /32 with local members): internal reachability is the
+        // IGP's job, and clobbering the IGP's anycast routes would defeat
+        // local capture.
+        const bool originated_here = std::any_of(
+            borders.begin(), borders.end(), [&](NodeId b) {
+              return speaker(b).originated.contains(prefix);
+            });
+        if (originated_here) continue;
+        // Intra-domain routes win over BGP for an identical prefix (the
+        // "IGP-preferred" admin-distance rule; see DESIGN.md): a member
+        // domain's own anycast members must keep capturing local traffic
+        // even when a remote member peer-advertises the same /32 to us.
+        if (const auto* existing = fib.find(prefix);
+            existing != nullptr && existing->origin != RouteOrigin::kBgp) {
+          continue;
+        }
+
+        // Hot potato: the IGP-closest border router with a best route.
+        NodeId chosen = NodeId::invalid();
+        Cost chosen_cost = net::kInfiniteCost;
+        const Route* chosen_route = nullptr;
+        for (const NodeId b : borders) {
+          const auto& rib = speaker(b).loc_rib;
+          const auto it = rib.find(prefix);
+          if (it == rib.end()) continue;
+          // Don't egress through an iBGP-learned copy when its eBGP owner
+          // is also a candidate: route through the true egress.
+          const NodeId egress = it->second.via_ibgp ? it->second.egress_router : b;
+          const Cost d = (r == egress) ? 0
+                                       : (igp ? igp->distance(r, egress)
+                                              : net::kInfiniteCost);
+          if (d < chosen_cost || (d == chosen_cost && egress < chosen)) {
+            chosen = egress;
+            chosen_cost = d;
+            chosen_route = &it->second;
+          }
+        }
+        if (!chosen.valid() || chosen_route == nullptr) continue;
+
+        if (r == chosen) {
+          // We are the egress: forward over the eBGP link. Self-originated
+          // routes need no FIB entry (IGP covers the domain).
+          const auto& rib = speaker(chosen).loc_rib;
+          const auto it = rib.find(prefix);
+          if (it == rib.end()) continue;
+          const Route& route = it->second;
+          if (route.learned == LearnedFrom::kSelf || route.via_ibgp) {
+            // via_ibgp at the egress itself shouldn't happen (egress
+            // resolution above); kSelf means the prefix is ours — skip.
+            continue;
+          }
+          if (!route.via_link.valid() || !topo.link(route.via_link).up) continue;
+          fib.insert(FibEntry{prefix, route.ebgp_next_hop, route.via_link,
+                              RouteOrigin::kBgp,
+                              static_cast<Cost>(route.as_path.size())});
+        } else {
+          const NodeId hop = igp ? igp->next_hop(r, chosen) : NodeId::invalid();
+          if (!hop.valid()) continue;
+          const LinkId out = connecting_link(r, hop);
+          fib.insert(FibEntry{prefix, hop, out, RouteOrigin::kBgp, chosen_cost});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace evo::bgp

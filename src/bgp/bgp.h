@@ -1,0 +1,160 @@
+// Inter-domain routing: an event-driven path-vector protocol with
+// Gao-Rexford policies, per-border-router RIBs, iBGP route sharing within
+// a domain, and hot-potato FIB installation.
+//
+// One BgpSystem manages every speaker in the topology. Border routers
+// (routers with inter-domain links) are eBGP speakers; border routers of
+// the same domain form an iBGP full mesh. Internal routers are not
+// speakers — they receive routes at FIB-installation time, forwarding
+// toward the IGP-closest border router holding a best route (hot potato).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.h"
+#include "igp/igp.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace evo::bgp {
+
+struct BgpConfig {
+  /// Latency of iBGP propagation between border routers of one domain.
+  sim::Duration ibgp_latency = sim::Duration::millis(2);
+  /// Debounce between a Loc-RIB change and the UPDATEs it triggers.
+  sim::Duration update_delay = sim::Duration::millis(5);
+};
+
+class BgpSystem {
+ public:
+  /// `network`, `simulator` and the IGP map must outlive this object.
+  /// `igp_of` maps each domain to its running IGP (used for hot-potato
+  /// distances at FIB-install time).
+  BgpSystem(sim::Simulator& simulator, net::Network& network,
+            std::function<const igp::Igp*(net::DomainId)> igp_of,
+            BgpConfig config = {});
+
+  /// Create sessions and originate every domain's own prefix. Run the
+  /// simulator afterwards to converge.
+  void start();
+
+  /// Originate `prefix` from `domain` (announced by all of its border
+  /// routers) under `policy`.
+  void originate(net::DomainId domain, net::Prefix prefix,
+                 OriginationPolicy policy = {});
+
+  /// Withdraw a locally originated prefix.
+  void withdraw(net::DomainId domain, net::Prefix prefix);
+
+  /// Push converged routes into every router's FIB (hot potato through the
+  /// domain's IGP). Call after the simulator reaches quiescence.
+  void install_routes();
+
+  /// Best route for `prefix` at `speaker`'s Loc-RIB, if any.
+  const Route* best_route(net::NodeId speaker, net::Prefix prefix) const;
+
+  /// All prefixes with a best route at `speaker`.
+  std::vector<net::Prefix> loc_rib_prefixes(net::NodeId speaker) const;
+
+  /// Loc-RIB size (for routing-state experiments). `anycast_only` counts
+  /// just anycast routes.
+  std::size_t loc_rib_size(net::NodeId speaker, bool anycast_only = false) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// The speakers (border routers) of a domain, sorted by NodeId.
+  std::vector<net::NodeId> speakers_of(net::DomainId domain) const;
+
+  /// Notify that an inter-domain link changed state: sessions over it come
+  /// up or go down and routes are re-evaluated.
+  void on_link_change(net::LinkId link);
+
+ private:
+  struct Session {
+    net::NodeId local;
+    net::NodeId remote;
+    net::LinkId link;                 // invalid() for iBGP
+    net::Relationship relationship;   // of remote as seen from local (eBGP)
+    bool ibgp = false;
+  };
+
+  struct Update {
+    net::Prefix prefix;
+    bool withdraw = false;
+    std::vector<net::DomainId> as_path;
+    bool no_export = false;
+    std::uint8_t propagation_ttl = 0;
+    bool anycast = false;
+  };
+
+  /// Sentinel "session" index for self-originated Adj-RIB-In entries.
+  static constexpr std::size_t kSelfSession = static_cast<std::size_t>(-1);
+
+  struct SpeakerState {
+    net::DomainId domain;
+    std::vector<std::size_t> sessions;  // indices into sessions_
+    /// Adj-RIB-In: best known offer per (prefix, receiving session).
+    /// Keying by session (not neighbor) keeps parallel sessions to the
+    /// same neighbor independent.
+    std::map<std::pair<net::Prefix, std::size_t>, Route> adj_rib_in;
+    /// Loc-RIB: the winning route per prefix.
+    std::map<net::Prefix, Route> loc_rib;
+    /// Adj-RIB-Out: (prefix, session) pairs currently advertised, so
+    /// withdrawals are sent only where an advertisement exists.
+    std::set<std::pair<net::Prefix, std::size_t>> adj_rib_out;
+    /// Prefixes originated locally (shared per domain but stored per
+    /// speaker for uniform processing).
+    std::map<net::Prefix, OriginationPolicy> originated;
+    /// Prefixes whose best changed and need (re-)advertisement.
+    std::set<net::Prefix> dirty;
+    bool send_pending = false;
+  };
+
+  bool is_speaker(net::NodeId node) const {
+    return speakers_.contains(node.value());
+  }
+  SpeakerState& speaker(net::NodeId node) { return speakers_.at(node.value()); }
+  const SpeakerState& speaker(net::NodeId node) const {
+    return speakers_.at(node.value());
+  }
+
+  void send(net::NodeId from, net::NodeId to, std::size_t session_index,
+            Update update);
+  void receive(net::NodeId local, net::NodeId from, std::size_t session_index,
+               Update update);
+
+  /// Re-run the decision process for `prefix` at `node`; queue updates if
+  /// the best route changed.
+  void decide(net::NodeId node, net::Prefix prefix);
+
+  /// True if `route` may be exported over `session` (Gao-Rexford + scope +
+  /// no-export + iBGP rules).
+  bool exportable(const SpeakerState& st, const Route& route,
+                  const Session& session) const;
+
+  void schedule_send(net::NodeId node);
+  void flush_updates(net::NodeId node);
+
+  /// Total ordering on routes: true if `a` is preferred over `b`.
+  static bool preferred(const Route& a, const Route& b);
+
+  /// Find the cheapest up link between adjacent routers (for FIB entries).
+  net::LinkId connecting_link(net::NodeId a, net::NodeId b) const;
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  std::function<const igp::Igp*(net::DomainId)> igp_of_;
+  BgpConfig config_;
+  std::vector<Session> sessions_;
+  std::unordered_map<std::uint32_t, SpeakerState> speakers_;  // by NodeId value
+  std::uint64_t messages_sent_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace evo::bgp

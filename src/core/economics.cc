@@ -1,0 +1,94 @@
+#include "core/economics.h"
+
+#include <cstdio>
+
+#include "sim/random.h"
+
+namespace evo::core {
+
+using net::DomainId;
+using net::HostId;
+using net::NodeId;
+
+std::string TrafficAccount::report(const net::Topology& topology) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-16s %-10s %-10s %-12s %-10s %-10s\n",
+                "domain", "origin", "terminate", "transit-hops", "vn-in",
+                "vn-out");
+  out += line;
+  for (const auto& domain : topology.domains()) {
+    const auto& t = per_domain[domain.id.value()];
+    if (t.originated + t.terminated + t.transit_hops + t.vn_ingress +
+            t.vn_egress ==
+        0) {
+      continue;
+    }
+    std::snprintf(line, sizeof line,
+                  "%-16s %-10llu %-10llu %-12llu %-10llu %-10llu\n",
+                  domain.name.c_str(), static_cast<unsigned long long>(t.originated),
+                  static_cast<unsigned long long>(t.terminated),
+                  static_cast<unsigned long long>(t.transit_hops),
+                  static_cast<unsigned long long>(t.vn_ingress),
+                  static_cast<unsigned long long>(t.vn_egress));
+    out += line;
+  }
+  return out;
+}
+
+TrafficAccount account_ipvn_traffic(const EvolvableInternet& internet,
+                                    std::size_t max_pairs, std::uint64_t seed) {
+  const auto& topo = internet.topology();
+  TrafficAccount account;
+  account.per_domain.resize(topo.domain_count());
+
+  std::vector<std::pair<HostId, HostId>> pairs;
+  const std::size_t n = topo.host_count();
+  const std::size_t all = n < 2 ? 0 : n * (n - 1);
+  if (max_pairs == 0 || all <= max_pairs) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (i != j) pairs.push_back({HostId{i}, HostId{j}});
+      }
+    }
+  } else {
+    sim::Rng rng{seed};
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      const auto i = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      auto j = i;
+      while (j == i) {
+        j = static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+      pairs.push_back({HostId{i}, HostId{j}});
+    }
+  }
+
+  for (const auto& [src, dst] : pairs) {
+    ++account.flows_attempted;
+    const EndToEndTrace trace = send_ipvn(internet, src, dst);
+    if (!trace.delivered) continue;
+    ++account.flows_delivered;
+
+    const DomainId src_domain = topo.router(topo.host(src).access_router).domain;
+    const DomainId dst_domain = topo.router(topo.host(dst).access_router).domain;
+    ++account.per_domain[src_domain.value()].originated;
+    ++account.per_domain[dst_domain.value()].terminated;
+    ++account.per_domain[topo.router(trace.ingress).domain.value()].vn_ingress;
+    ++account.per_domain[topo.router(trace.egress).domain.value()].vn_egress;
+
+    // Transit attribution: every traversed router of a third-party domain
+    // counts one settlement-bearing hop.
+    for (const auto& segment : trace.segments) {
+      for (const NodeId hop : segment.trace.hops) {
+        const DomainId d = topo.router(hop).domain;
+        if (d == src_domain || d == dst_domain) continue;
+        ++account.per_domain[d.value()].transit_hops;
+      }
+    }
+  }
+  return account;
+}
+
+}  // namespace evo::core

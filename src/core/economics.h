@@ -1,0 +1,59 @@
+// Traffic accounting for the paper's incentive argument (assumption A4):
+//
+//   "if IPvN attracts users, then revenue will flow towards those ISPs
+//    offering IPvN. An ISP that attracts new customers would obviously
+//    increase revenue. We also posit that an ISP that attracts new
+//    traffic, by offering IPvN, will also gain revenue possibly due to
+//    increased settlement payments."
+//
+// The account walks delivered IPvN flows hop by hop and attributes, per
+// ISP: flows originated/terminated by its hosts, router-hops of foreign
+// traffic it carried (the settlement signal), and flows whose vN-Bone
+// ingress it captured (the traffic-attraction signal of deploying).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+
+namespace evo::core {
+
+struct DomainTraffic {
+  /// Flows whose source host is in this domain.
+  std::uint64_t originated = 0;
+  /// Flows whose destination host is in this domain.
+  std::uint64_t terminated = 0;
+  /// Router-hops of *foreign* flows carried (neither endpoint here):
+  /// the settlement-bearing transit traffic.
+  std::uint64_t transit_hops = 0;
+  /// Flows that entered the vN-Bone at one of this domain's routers —
+  /// traffic this ISP attracted by deploying.
+  std::uint64_t vn_ingress = 0;
+  /// Flows that exited the vN-Bone here (egress service).
+  std::uint64_t vn_egress = 0;
+};
+
+struct TrafficAccount {
+  std::vector<DomainTraffic> per_domain;  // indexed by DomainId
+  std::uint64_t flows_attempted = 0;
+  std::uint64_t flows_delivered = 0;
+
+  const DomainTraffic& domain(net::DomainId id) const {
+    return per_domain[id.value()];
+  }
+
+  /// Multi-line per-domain table (domains with any traffic only).
+  std::string report(const net::Topology& topology) const;
+};
+
+/// Account an all-pairs IPvN workload (or a deterministic sample of
+/// `max_pairs` when the cross product is larger) over the current
+/// deployment state. One flow-unit per host pair.
+TrafficAccount account_ipvn_traffic(const EvolvableInternet& internet,
+                                    std::size_t max_pairs = 0,
+                                    std::uint64_t seed = 1);
+
+}  // namespace evo::core

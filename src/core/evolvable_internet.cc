@@ -1,0 +1,112 @@
+#include "core/evolvable_internet.h"
+
+#include <cassert>
+
+namespace evo::core {
+
+using net::DomainId;
+using net::LinkId;
+using net::NodeId;
+
+const char* to_string(IgpKind kind) {
+  switch (kind) {
+    case IgpKind::kLinkState: return "link-state";
+    case IgpKind::kDistanceVector: return "distance-vector";
+    case IgpKind::kDistanceVectorTagged: return "distance-vector-tagged";
+  }
+  return "?";
+}
+
+EvolvableInternet::EvolvableInternet(net::Topology topology, Options options)
+    : options_(options) {
+  network_ = std::make_unique<net::Network>(std::move(topology));
+
+  const auto& topo = network_->topology();
+  igps_.resize(topo.domain_count());
+  for (const auto& domain : topo.domains()) {
+    switch (options_.igp) {
+      case IgpKind::kLinkState:
+        igps_[domain.id.value()] = std::make_unique<igp::LinkStateIgp>(
+            simulator_, *network_, domain.id, options_.link_state);
+        break;
+      case IgpKind::kDistanceVector:
+      case IgpKind::kDistanceVectorTagged: {
+        auto config = options_.distance_vector;
+        config.tagged_advertisements =
+            options_.igp == IgpKind::kDistanceVectorTagged;
+        igps_[domain.id.value()] = std::make_unique<igp::DistanceVectorIgp>(
+            simulator_, *network_, domain.id, config);
+        break;
+      }
+    }
+  }
+
+  auto igp_accessor = [this](DomainId d) -> igp::Igp* {
+    return d.value() < igps_.size() ? igps_[d.value()].get() : nullptr;
+  };
+  auto const_igp_accessor = [this](DomainId d) -> const igp::Igp* {
+    return d.value() < igps_.size() ? igps_[d.value()].get() : nullptr;
+  };
+
+  bgp_ = std::make_unique<bgp::BgpSystem>(simulator_, *network_, const_igp_accessor,
+                                          options_.bgp);
+  anycast_ = std::make_unique<anycast::AnycastService>(*network_, bgp_.get(),
+                                                       igp_accessor);
+  vnbones_.push_back(std::make_unique<vnbone::VnBone>(
+      *network_, bgp_.get(), igp_accessor, *anycast_, options_.vnbone));
+  host_stacks_.push_back(
+      std::make_unique<host::HostStack>(*network_, *vnbones_.front()));
+}
+
+std::size_t EvolvableInternet::add_generation(vnbone::VnBoneConfig config) {
+  auto igp_accessor = [this](DomainId d) -> igp::Igp* {
+    return d.value() < igps_.size() ? igps_[d.value()].get() : nullptr;
+  };
+  vnbones_.push_back(std::make_unique<vnbone::VnBone>(
+      *network_, bgp_.get(), igp_accessor, *anycast_, config));
+  host_stacks_.push_back(
+      std::make_unique<host::HostStack>(*network_, *vnbones_.back()));
+  return vnbones_.size() - 1;
+}
+
+void EvolvableInternet::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& igp : igps_) {
+    if (igp) igp->start();
+  }
+  bgp_->start();
+  converge();
+}
+
+void EvolvableInternet::deploy_router(NodeId router) {
+  vnbones_.front()->deploy_router(router);
+}
+
+void EvolvableInternet::deploy_domain(DomainId domain) {
+  vnbones_.front()->deploy_domain(domain);
+}
+
+void EvolvableInternet::undeploy_router(NodeId router) {
+  vnbones_.front()->undeploy_router(router);
+}
+
+std::uint64_t EvolvableInternet::converge() {
+  const std::uint64_t events = simulator_.run();
+  bgp_->install_routes();
+  for (auto& vnbone : vnbones_) vnbone->rebuild();
+  return events;
+}
+
+void EvolvableInternet::set_link_up(LinkId link, bool up) {
+  network_->topology().set_link_up(link, up);
+  const auto& l = network_->topology().link(link);
+  if (l.interdomain) {
+    bgp_->on_link_change(link);
+  } else {
+    const DomainId domain = network_->topology().router(l.a).domain;
+    if (auto* igp = igps_[domain.value()].get()) igp->on_link_change(link);
+  }
+}
+
+}  // namespace evo::core

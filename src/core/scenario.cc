@@ -1,0 +1,143 @@
+#include "core/scenario.h"
+
+namespace evo::core {
+
+using net::Cost;
+using net::DomainId;
+using net::NodeId;
+using net::Relationship;
+using net::Topology;
+
+namespace {
+
+/// Add `count` routers to `domain` connected in a line with unit costs;
+/// returns them in order.
+std::vector<NodeId> line_routers(Topology& topo, DomainId domain,
+                                 std::uint32_t count, Cost cost = 1) {
+  std::vector<NodeId> routers;
+  for (std::uint32_t i = 0; i < count; ++i) routers.push_back(topo.add_router(domain));
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    topo.add_link(routers[i], routers[i + 1], cost);
+  }
+  return routers;
+}
+
+}  // namespace
+
+Figure1 make_figure1() {
+  Figure1 fig;
+  Topology& topo = fig.topology;
+  fig.w = topo.add_domain("W");
+  fig.x = topo.add_domain("X", /*stub=*/true);
+  fig.y = topo.add_domain("Y", /*stub=*/true);
+  fig.z = topo.add_domain("Z", /*stub=*/true);
+
+  // W's backbone: w0 - w1 - w2 (X hangs off w0, Y and Z off w2), so Z is
+  // decisively closer to Y than to X.
+  const auto w = line_routers(topo, fig.w, 3, /*cost=*/4);
+  const auto x = line_routers(topo, fig.x, 2);
+  const auto y = line_routers(topo, fig.y, 2);
+  const auto z = line_routers(topo, fig.z, 2);
+
+  topo.add_interdomain_link(w[0], x[0], Relationship::kCustomer, /*cost=*/2);
+  topo.add_interdomain_link(w[2], y[0], Relationship::kCustomer, /*cost=*/2);
+  topo.add_interdomain_link(w[2], z[0], Relationship::kCustomer, /*cost=*/2);
+
+  fig.client = topo.add_host(z[1]);
+  return fig;
+}
+
+Figure2 make_figure2() {
+  Figure2 fig;
+  Topology& topo = fig.topology;
+  fig.p = topo.add_domain("P");
+  fig.q = topo.add_domain("Q");
+  fig.d = topo.add_domain("D");
+  fig.x = topo.add_domain("X", /*stub=*/true);
+  fig.y = topo.add_domain("Y", /*stub=*/true);
+  fig.z = topo.add_domain("Z", /*stub=*/true);
+
+  const auto p = line_routers(topo, fig.p, 2);
+  const auto q = line_routers(topo, fig.q, 2);
+  const auto d = line_routers(topo, fig.d, 2);
+  const auto x = line_routers(topo, fig.x, 2);
+  const auto y = line_routers(topo, fig.y, 2);
+  const auto z = line_routers(topo, fig.z, 2);
+
+  // D and P are peered transits; X and Y are D's customers; Q is P's
+  // customer; Z is Q's customer; Q and Y are peers (the optional anycast
+  // advertisement flows over this peering).
+  topo.add_interdomain_link(d[0], p[0], Relationship::kPeer);
+  topo.add_interdomain_link(d[1], x[0], Relationship::kCustomer);
+  topo.add_interdomain_link(d[1], y[0], Relationship::kCustomer);
+  topo.add_interdomain_link(p[1], q[0], Relationship::kCustomer);
+  topo.add_interdomain_link(q[1], z[0], Relationship::kCustomer);
+  topo.add_interdomain_link(q[1], y[1], Relationship::kPeer);
+
+  fig.host_x = topo.add_host(x[1]);
+  fig.host_y = topo.add_host(y[1]);
+  fig.host_z = topo.add_host(z[1]);
+  return fig;
+}
+
+Figure3 make_figure3() {
+  Figure3 fig;
+  Topology& topo = fig.topology;
+  fig.m = topo.add_domain("M");
+  fig.o = topo.add_domain("O");
+  fig.c_domain = topo.add_domain("C-dom", /*stub=*/true);
+
+  // M: a (host's access) - x (border). O: z (border to M) - mid - y
+  // (border to C's domain). The stretch inside O makes the native tail
+  // from X long, so exiting at Y pays off visibly.
+  const auto m = line_routers(topo, fig.m, 2, /*cost=*/1);
+  const auto o = line_routers(topo, fig.o, 3, /*cost=*/3);
+  const auto cd = line_routers(topo, fig.c_domain, 2, /*cost=*/1);
+
+  fig.x = m[1];
+  fig.z = o[0];
+  fig.y = o[2];
+
+  // O is the provider of both M and C's domain.
+  topo.add_interdomain_link(o[0], m[1], Relationship::kCustomer, /*cost=*/2);
+  topo.add_interdomain_link(o[2], cd[0], Relationship::kCustomer, /*cost=*/2);
+
+  fig.a = topo.add_host(m[0]);
+  fig.c = topo.add_host(cd[1]);
+  return fig;
+}
+
+Figure4 make_figure4() {
+  Figure4 fig;
+  Topology& topo = fig.topology;
+  fig.a = topo.add_domain("A");
+  fig.b = topo.add_domain("B");
+  fig.c = topo.add_domain("C");
+  fig.m = topo.add_domain("M");
+  fig.n = topo.add_domain("N");
+  fig.z = topo.add_domain("Z", /*stub=*/true);
+
+  const auto a = line_routers(topo, fig.a, 2);
+  const auto b = line_routers(topo, fig.b, 2);
+  const auto c = line_routers(topo, fig.c, 2);
+  const auto m = line_routers(topo, fig.m, 2, /*cost=*/8);
+  const auto n = line_routers(topo, fig.n, 2, /*cost=*/8);
+  const auto z = line_routers(topo, fig.z, 2);
+
+  // Legacy chain A-M-N-Z is expensive; deployed chain A-B-C-Z is cheap.
+  // Policies: Z is multihomed (customer of N and of C); N is M's customer;
+  // A peers with M and B; B peers with C. Valley-freeness makes A's only
+  // BGPv(N-1) route to Z the expensive M-N-Z path.
+  topo.add_interdomain_link(a[1], m[0], Relationship::kPeer, /*cost=*/8);
+  topo.add_interdomain_link(m[1], n[0], Relationship::kCustomer, /*cost=*/8);
+  topo.add_interdomain_link(n[1], z[0], Relationship::kCustomer, /*cost=*/8);
+  topo.add_interdomain_link(a[1], b[0], Relationship::kPeer, /*cost=*/1);
+  topo.add_interdomain_link(b[1], c[0], Relationship::kPeer, /*cost=*/1);
+  topo.add_interdomain_link(c[1], z[1], Relationship::kCustomer, /*cost=*/1);
+
+  fig.src = topo.add_host(a[0]);
+  fig.dst = topo.add_host(z[0]);
+  return fig;
+}
+
+}  // namespace evo::core

@@ -1,0 +1,63 @@
+// The paper's four figure scenarios as concrete topologies, plus helpers
+// for building larger randomized evolution experiments. Each factory
+// returns the topology and the named entities the figure refers to, so
+// tests and benches can assert the exact behavior the figure depicts.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "net/topology_gen.h"
+
+namespace evo::core {
+
+/// Figure 1: "IPv8 is deployed successively in ISPs X, then Y and finally
+/// Z. Throughout, client C is seamlessly redirected to the closest IPv8
+/// provider." W is the transit interconnecting X, Y and Z; Z is C's local
+/// ISP and is positioned closer to Y than to X so every stage changes the
+/// serving provider.
+struct Figure1 {
+  net::Topology topology;
+  net::DomainId w, x, y, z;
+  net::HostId client;  // C, attached in Z
+};
+Figure1 make_figure1();
+
+/// Figure 2: inter-domain anycast with ISP-rooted addresses and default
+/// routes. D is the default domain; Q also deploys. Anycast packets from
+/// X and Y terminate in D, those from Z reach Q (it sits on Z's path to
+/// D); after Q peer-advertises to Y, Y's packets reach Q.
+struct Figure2 {
+  net::Topology topology;
+  net::DomainId p, q, d, x, y, z;
+  net::HostId host_x, host_y, host_z;
+};
+Figure2 make_figure2();
+
+/// Figure 3: egress selection. ISPs M and O deploy IPvN; client C's stub
+/// domain is legacy and hangs off O. With only BGPvN the packet exits the
+/// vN-Bone at M's router X; with imported BGPv(N-1) it rides the vN-Bone
+/// to O's router Y (adjacent to C's domain) and exits there.
+struct Figure3 {
+  net::Topology topology;
+  net::DomainId m, o, c_domain;
+  net::NodeId x;      // M's IPvN border (the naive exit)
+  net::NodeId z, y;   // O's routers; Y abuts C's domain
+  net::HostId a;      // source host in M
+  net::HostId c;      // destination client in the legacy stub
+};
+Figure3 make_figure3();
+
+/// Figure 4: advertising-by-proxy. A, B, C deploy IPvN; M, N, Z are
+/// legacy. The legacy chain A-M-N-Z is expensive; the deployed chain
+/// A-B-C-Z is cheap. B and C advertise their BGPv(N-1) distance to Z into
+/// BGPvN, so A's traffic to Z rides the vN-Bone to C and exits there.
+struct Figure4 {
+  net::Topology topology;
+  net::DomainId a, b, c, m, n, z;
+  net::HostId src;  // in A
+  net::HostId dst;  // in Z
+};
+Figure4 make_figure4();
+
+}  // namespace evo::core

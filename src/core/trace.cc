@@ -1,0 +1,170 @@
+#include "core/trace.h"
+
+namespace evo::core {
+
+using net::Cost;
+using net::HostId;
+using net::NodeId;
+
+const char* to_string(Segment::Kind kind) {
+  switch (kind) {
+    case Segment::Kind::kAnycastIngress: return "anycast-ingress";
+    case Segment::Kind::kTunnel: return "tunnel";
+    case Segment::Kind::kLegacyEgress: return "legacy-egress";
+  }
+  return "?";
+}
+
+const char* to_string(EndToEndTrace::Failure failure) {
+  switch (failure) {
+    case EndToEndTrace::Failure::kNone: return "none";
+    case EndToEndTrace::Failure::kNoDeployment: return "no-deployment";
+    case EndToEndTrace::Failure::kIngressFailed: return "ingress-failed";
+    case EndToEndTrace::Failure::kVnRoutingFailed: return "vn-routing-failed";
+    case EndToEndTrace::Failure::kTunnelFailed: return "tunnel-failed";
+    case EndToEndTrace::Failure::kEgressFailed: return "egress-failed";
+  }
+  return "?";
+}
+
+Cost EndToEndTrace::total_cost() const {
+  Cost total = 0;
+  for (const auto& s : segments) total += s.trace.cost;
+  return total;
+}
+
+std::size_t EndToEndTrace::total_hops() const {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.trace.hop_count();
+  return total;
+}
+
+Cost EndToEndTrace::legacy_tail_cost() const {
+  Cost total = 0;
+  for (const auto& s : segments) {
+    if (s.kind == Segment::Kind::kLegacyEgress) total += s.trace.cost;
+  }
+  return total;
+}
+
+std::string EndToEndTrace::describe() const {
+  std::string out = delivered ? "delivered" : std::string("failed: ") +
+                                                  to_string(failure);
+  out += " (cost " + std::to_string(total_cost()) + ", hops " +
+         std::to_string(total_hops()) + ", vn-hops " +
+         std::to_string(vn_route.vn_hop_count()) + ")";
+  return out;
+}
+
+EndToEndTrace send_ipvn(const EvolvableInternet& internet, HostId src, HostId dst,
+                        std::optional<vnbone::EgressMode> mode) {
+  return send_ipvn_generation(internet, 0, src, dst, mode);
+}
+
+EndToEndTrace send_ipvn_generation(const EvolvableInternet& internet,
+                                   std::size_t generation, HostId src, HostId dst,
+                                   std::optional<vnbone::EgressMode> mode) {
+  EndToEndTrace result;
+  const auto& network = internet.network();
+  const auto& topo = network.topology();
+  const auto& vnbone = internet.generation(generation);
+
+  if (!vnbone.anycast_group().valid()) {
+    result.failure = EndToEndTrace::Failure::kNoDeployment;
+    return result;
+  }
+
+  const net::Packet packet =
+      internet.generation_hosts(generation).make_datagram(src, dst);
+  const net::IpvNHeader inner = packet.layers().front().vn;
+  const NodeId src_access = topo.host(src).access_router;
+
+  // Leg 1: encapsulated packet rides unicast to the anycast address; the
+  // network delivers it to the closest IPvN router (the ingress).
+  Segment ingress_seg;
+  ingress_seg.kind = Segment::Kind::kAnycastIngress;
+  ingress_seg.trace = network.trace(src_access, packet.outer().v4.dst);
+  result.segments.push_back(ingress_seg);
+  if (!ingress_seg.trace.delivered() ||
+      !vnbone.deployed(ingress_seg.trace.delivered_at)) {
+    result.failure = EndToEndTrace::Failure::kIngressFailed;
+    return result;
+  }
+  result.ingress = ingress_seg.trace.delivered_at;
+
+  complete_from_ingress(internet, inner, dst, mode, result, generation);
+  return result;
+}
+
+void complete_from_ingress(const EvolvableInternet& internet,
+                           const net::IpvNHeader& inner, HostId dst,
+                           std::optional<vnbone::EgressMode> mode,
+                           EndToEndTrace& result, std::size_t generation) {
+  const auto& network = internet.network();
+  const auto& topo = network.topology();
+  const auto& vnbone = internet.generation(generation);
+
+  // Leg 2: the ingress decapsulates and routes over the vN-Bone.
+  result.vn_route = vnbone.route(result.ingress, inner.dst, mode);
+  if (!result.vn_route.ok) {
+    result.failure = EndToEndTrace::Failure::kVnRoutingFailed;
+    return;
+  }
+  result.egress = result.vn_route.egress;
+  for (std::size_t i = 0; i + 1 < result.vn_route.vn_hops.size(); ++i) {
+    const NodeId a = result.vn_route.vn_hops[i];
+    const NodeId b = result.vn_route.vn_hops[i + 1];
+    Segment tunnel;
+    tunnel.kind = Segment::Kind::kTunnel;
+    tunnel.trace = network.trace(a, topo.router(b).loopback);
+    result.segments.push_back(tunnel);
+    if (!tunnel.trace.delivered() || tunnel.trace.delivered_at != b) {
+      result.failure = EndToEndTrace::Failure::kTunnelFailed;
+      return;
+    }
+  }
+
+  // Leg 3: exit. Either a native IPv(N-1) tail to the legacy destination,
+  // or native IPvN delivery at the destination's access router.
+  const NodeId dst_access = topo.host(dst).access_router;
+  if (result.vn_route.exits_to_legacy) {
+    Segment egress_seg;
+    egress_seg.kind = Segment::Kind::kLegacyEgress;
+    egress_seg.trace = network.trace(result.egress, inner.legacy_dst);
+    result.segments.push_back(egress_seg);
+    if (!egress_seg.trace.delivered() ||
+        egress_seg.trace.delivered_at != dst_access) {
+      result.failure = EndToEndTrace::Failure::kEgressFailed;
+      return;
+    }
+  } else if (result.egress != dst_access) {
+    result.failure = EndToEndTrace::Failure::kEgressFailed;
+    return;
+  }
+
+  result.delivered = true;
+}
+
+NodeId register_endhost_route(EvolvableInternet& internet, HostId host) {
+  auto& vnbone = internet.vnbone();
+  if (!vnbone.anycast_group().valid()) return NodeId::invalid();
+  const auto addr = internet.hosts().ipvn_address(host);
+  if (!addr.is_self_address()) return NodeId::invalid();
+  const auto& topo = internet.topology();
+  const auto trace = internet.network().trace(topo.host(host).access_router,
+                                              vnbone.anycast_address());
+  if (!trace.delivered() || !vnbone.deployed(trace.delivered_at)) {
+    return NodeId::invalid();
+  }
+  vnbone.register_endhost_route(addr, trace.delivered_at);
+  return trace.delivered_at;
+}
+
+Cost oracle_host_distance(const EvolvableInternet& internet, HostId src, HostId dst) {
+  const auto& topo = internet.topology();
+  const net::Graph graph = topo.physical_graph();
+  const auto paths = net::dijkstra(graph, topo.host(src).access_router);
+  return paths.distance_to(topo.host(dst).access_router);
+}
+
+}  // namespace evo::core

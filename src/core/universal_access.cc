@@ -1,0 +1,66 @@
+#include "core/universal_access.h"
+
+namespace evo::core {
+
+using net::HostId;
+
+UaReport verify_universal_access(const EvolvableInternet& internet,
+                                 std::size_t max_pairs, std::uint64_t seed) {
+  UaReport report;
+  const auto& topo = internet.topology();
+  const std::size_t n = topo.host_count();
+  if (n < 2) return report;
+
+  std::vector<std::pair<HostId, HostId>> pairs;
+  const std::size_t all = n * (n - 1);
+  if (max_pairs == 0 || all <= max_pairs) {
+    pairs.reserve(all);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (i != j) pairs.push_back({HostId{i}, HostId{j}});
+      }
+    }
+  } else {
+    sim::Rng rng{seed};
+    pairs.reserve(max_pairs);
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      const auto i = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      auto j = i;
+      while (j == i) {
+        j = static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+      pairs.push_back({HostId{i}, HostId{j}});
+    }
+  }
+
+  double cost_sum = 0.0;
+  double stretch_sum = 0.0;
+  std::size_t stretch_count = 0;
+  for (const auto& [src, dst] : pairs) {
+    ++report.pairs_checked;
+    const EndToEndTrace trace = send_ipvn(internet, src, dst);
+    if (!trace.delivered) {
+      report.failures.push_back(UaFailure{src, dst, trace.failure});
+      continue;
+    }
+    ++report.pairs_delivered;
+    cost_sum += static_cast<double>(trace.total_cost());
+    const net::Cost oracle = oracle_host_distance(internet, src, dst);
+    if (oracle > 0 && oracle != net::kInfiniteCost) {
+      stretch_sum += static_cast<double>(trace.total_cost()) /
+                     static_cast<double>(oracle);
+      ++stretch_count;
+    }
+  }
+  if (report.pairs_delivered > 0) {
+    report.mean_cost = cost_sum / static_cast<double>(report.pairs_delivered);
+  }
+  if (stretch_count > 0) {
+    report.mean_stretch = stretch_sum / static_cast<double>(stretch_count);
+  }
+  return report;
+}
+
+}  // namespace evo::core

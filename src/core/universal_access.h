@@ -1,0 +1,45 @@
+// Universal Access verification (paper §2.1):
+//   "All clients can use IPvN if they so choose, regardless of whether
+//    their ISP deploys IPvN or assists their clients in accessing IPvN."
+//
+// The verifier sends IPvN datagrams between host pairs and reports any
+// failures; universal access holds when every pair succeeds — which the
+// paper's design guarantees from the moment a single ISP deploys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+#include "sim/random.h"
+
+namespace evo::core {
+
+struct UaFailure {
+  net::HostId src;
+  net::HostId dst;
+  EndToEndTrace::Failure failure = EndToEndTrace::Failure::kNone;
+};
+
+struct UaReport {
+  std::size_t pairs_checked = 0;
+  std::size_t pairs_delivered = 0;
+  std::vector<UaFailure> failures;
+  /// Summed over delivered pairs.
+  double mean_cost = 0.0;
+  double mean_stretch = 0.0;  // vs the physical shortest path oracle
+
+  bool universal() const {
+    return pairs_checked > 0 && pairs_delivered == pairs_checked;
+  }
+};
+
+/// Check all ordered host pairs (or a random sample of `max_pairs` when
+/// the full cross product is larger). Deterministic given `seed`.
+UaReport verify_universal_access(const EvolvableInternet& internet,
+                                 std::size_t max_pairs = 0,
+                                 std::uint64_t seed = 1);
+
+}  // namespace evo::core

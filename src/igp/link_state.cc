@@ -1,0 +1,241 @@
+#include "igp/link_state.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.h"
+
+namespace evo::igp {
+
+using net::Cost;
+using net::DomainId;
+using net::FibEntry;
+using net::Ipv4Addr;
+using net::LinkId;
+using net::NodeId;
+using net::Prefix;
+using net::RouteOrigin;
+
+LinkStateIgp::LinkStateIgp(sim::Simulator& simulator, net::Network& network,
+                           DomainId domain, LinkStateConfig config)
+    : simulator_(simulator), network_(network), domain_(domain), config_(config) {
+  for (const NodeId node : network_.topology().domain(domain_).routers) {
+    states_.emplace(node.value(), RouterState{});
+  }
+}
+
+bool LinkStateIgp::in_domain(NodeId node) const {
+  return network_.topology().router(node).domain == domain_;
+}
+
+LinkStateIgp::RouterState& LinkStateIgp::state(NodeId node) {
+  auto it = states_.find(node.value());
+  assert(it != states_.end() && "router not in this IGP's domain");
+  return it->second;
+}
+
+const LinkStateIgp::RouterState& LinkStateIgp::state(NodeId node) const {
+  auto it = states_.find(node.value());
+  assert(it != states_.end() && "router not in this IGP's domain");
+  return it->second;
+}
+
+void LinkStateIgp::start() {
+  started_ = true;
+  for (const NodeId node : network_.topology().domain(domain_).routers) {
+    originate(node);
+  }
+}
+
+void LinkStateIgp::add_anycast_member(NodeId router, Ipv4Addr anycast) {
+  assert(in_domain(router));
+  auto& st = state(router);
+  if (!st.memberships.insert(anycast).second) return;
+  if (started_) originate(router);
+}
+
+void LinkStateIgp::remove_anycast_member(NodeId router, Ipv4Addr anycast) {
+  assert(in_domain(router));
+  auto& st = state(router);
+  if (st.memberships.erase(anycast) == 0) return;
+  if (started_) originate(router);
+}
+
+std::vector<NodeId> LinkStateIgp::discovered_members(NodeId viewpoint,
+                                                     Ipv4Addr anycast) const {
+  const auto& st = state(viewpoint);
+  std::vector<NodeId> members;
+  for (const auto& [origin, lsa] : st.lsdb) {
+    if (std::find(lsa.anycast_addresses.begin(), lsa.anycast_addresses.end(),
+                  anycast) != lsa.anycast_addresses.end()) {
+      members.push_back(origin);
+    }
+  }
+  return members;  // lsdb is an ordered map => sorted by NodeId
+}
+
+Cost LinkStateIgp::distance(NodeId from, NodeId to) const {
+  const auto& st = state(from);
+  if (!st.spf_valid || to.value() >= st.spf.distance.size()) return net::kInfiniteCost;
+  return st.spf.distance_to(to);
+}
+
+NodeId LinkStateIgp::next_hop(NodeId from, NodeId to) const {
+  const auto& st = state(from);
+  if (!st.spf_valid || to.value() >= st.spf.distance.size() || !st.spf.reachable(to)) {
+    return NodeId::invalid();
+  }
+  const auto path = st.spf.path_to(to);
+  return path.size() >= 2 ? path[1] : from;
+}
+
+void LinkStateIgp::on_link_change(LinkId link) {
+  const auto& l = network_.topology().link(link);
+  if (l.interdomain) return;
+  if (network_.topology().router(l.a).domain != domain_) return;
+  if (started_) {
+    originate(l.a);
+    originate(l.b);
+  }
+}
+
+void LinkStateIgp::originate(NodeId router) {
+  auto& st = state(router);
+  Lsa lsa;
+  lsa.origin = router;
+  lsa.sequence = ++st.own_sequence;
+  const auto& topo = network_.topology();
+  for (const LinkId link_id : topo.router(router).links) {
+    const auto& link = topo.link(link_id);
+    if (link.interdomain || !link.up) continue;
+    lsa.adjacencies.push_back(
+        LsaAdjacency{link.other_end(router), link.cost, link_id});
+  }
+  lsa.anycast_addresses.assign(st.memberships.begin(), st.memberships.end());
+
+  // Self-install and flood everywhere.
+  st.lsdb[router] = lsa;
+  schedule_spf(router);
+  flood(router, lsa, LinkId::invalid());
+}
+
+void LinkStateIgp::receive(NodeId router, Lsa lsa, LinkId via_link) {
+  auto& st = state(router);
+  auto it = st.lsdb.find(lsa.origin);
+  if (it != st.lsdb.end() && it->second.sequence >= lsa.sequence) {
+    return;  // stale or duplicate
+  }
+  st.lsdb[lsa.origin] = lsa;
+  schedule_spf(router);
+  flood(router, lsa, via_link);
+}
+
+void LinkStateIgp::flood(NodeId router, const Lsa& lsa, LinkId except) {
+  const auto& topo = network_.topology();
+  for (const LinkId link_id : topo.router(router).links) {
+    if (link_id == except) continue;
+    const auto& link = topo.link(link_id);
+    if (link.interdomain || !link.up) continue;
+    const NodeId neighbor = link.other_end(router);
+    ++messages_sent_;
+    simulator_.schedule_after(link.latency, [this, neighbor, lsa, link_id] {
+      // Re-check at delivery: the link may have failed in flight.
+      if (network_.topology().link(link_id).up) {
+        receive(neighbor, lsa, link_id);
+      }
+    });
+  }
+}
+
+void LinkStateIgp::schedule_spf(NodeId router) {
+  auto& st = state(router);
+  if (st.spf_pending) return;
+  st.spf_pending = true;
+  simulator_.schedule_after(config_.spf_delay, [this, router] { run_spf(router); });
+}
+
+net::Graph LinkStateIgp::lsdb_graph(const RouterState& st) const {
+  net::Graph graph(network_.topology().router_count());
+  // A directed edge is used only when both endpoints report it (two-way
+  // connectivity check), matching OSPF behavior on half-broken links.
+  for (const auto& [origin, lsa] : st.lsdb) {
+    for (const auto& adj : lsa.adjacencies) {
+      const auto other = st.lsdb.find(adj.neighbor);
+      if (other == st.lsdb.end()) continue;
+      const bool reciprocal =
+          std::any_of(other->second.adjacencies.begin(),
+                      other->second.adjacencies.end(),
+                      [&](const LsaAdjacency& back) { return back.neighbor == origin; });
+      if (reciprocal) graph.add_edge(origin, adj.neighbor, adj.cost, adj.link);
+    }
+  }
+  return graph;
+}
+
+void LinkStateIgp::run_spf(NodeId router) {
+  auto& st = state(router);
+  st.spf_pending = false;
+  ++spf_runs_;
+
+  const net::Graph graph = lsdb_graph(st);
+  st.spf = net::dijkstra(graph, router);
+  st.spf_valid = true;
+
+  auto& fib = network_.fib(router);
+  fib.remove_origin(RouteOrigin::kIgp);
+  fib.remove_origin(RouteOrigin::kAnycast);
+
+  const auto& topo = network_.topology();
+
+  // Unicast routes to every other router in the LSDB.
+  for (const auto& [origin, lsa] : st.lsdb) {
+    if (origin == router || !st.spf.reachable(origin)) continue;
+    const auto path = st.spf.path_to(origin);
+    assert(path.size() >= 2);
+    const NodeId hop = path[1];
+    const LinkId out = [&] {
+      for (const net::Graph::Edge& e : graph.neighbors(router)) {
+        if (e.to == hop) return e.link;
+      }
+      return LinkId::invalid();
+    }();
+    const auto& r = topo.router(origin);
+    const Cost metric = st.spf.distance_to(origin);
+    fib.insert(FibEntry{Prefix::host(r.loopback), hop, out, RouteOrigin::kIgp, metric});
+    fib.insert(FibEntry{net::Topology::router_subnet(r.domain, r.index_in_domain), hop,
+                        out, RouteOrigin::kIgp, metric});
+  }
+
+  // Anycast routes: pick the closest member (deterministic tiebreak on
+  // NodeId). The member's high-cost stub link contributes equally for all
+  // members, so it is added for fidelity but cannot change the winner.
+  std::map<Ipv4Addr, std::pair<Cost, NodeId>> best;
+  for (const auto& [origin, lsa] : st.lsdb) {
+    if (!st.spf.reachable(origin)) continue;
+    for (const Ipv4Addr addr : lsa.anycast_addresses) {
+      const Cost total = st.spf.distance_to(origin) + config_.anycast_stub_cost;
+      auto [it, inserted] = best.emplace(addr, std::make_pair(total, origin));
+      if (!inserted && (total < it->second.first ||
+                        (total == it->second.first && origin < it->second.second))) {
+        it->second = {total, origin};
+      }
+    }
+  }
+  for (const auto& [addr, winner] : best) {
+    const auto& [metric, member] = winner;
+    if (member == router) continue;  // delivered locally; no route needed
+    const auto path = st.spf.path_to(member);
+    assert(path.size() >= 2);
+    const NodeId hop = path[1];
+    const LinkId out = [&] {
+      for (const net::Graph::Edge& e : graph.neighbors(router)) {
+        if (e.to == hop) return e.link;
+      }
+      return LinkId::invalid();
+    }();
+    fib.insert(
+        FibEntry{Prefix::host(addr), hop, out, RouteOrigin::kAnycast, metric});
+  }
+}
+
+}  // namespace evo::igp

@@ -1,0 +1,101 @@
+#include "net/address.h"
+
+#include <cstdio>
+
+namespace evo::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return std::nullopt;
+    std::uint32_t value = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (value > 255 || ++digits > 3) return std::nullopt;
+      ++pos;
+    }
+    octets[i] = value;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr{static_cast<std::uint8_t>(octets[0]),
+                  static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]),
+                  static_cast<std::uint8_t>(octets[3])};
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  std::uint32_t len = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Prefix{*addr, static_cast<std::uint8_t>(len)};
+}
+
+namespace {
+
+constexpr std::uint64_t hi_mask(std::uint8_t length) {
+  if (length == 0) return 0;
+  if (length >= 64) return ~std::uint64_t{0};
+  return ~std::uint64_t{0} << (64 - length);
+}
+
+constexpr std::uint64_t lo_mask(std::uint8_t length) {
+  if (length <= 64) return 0;
+  if (length >= 128) return ~std::uint64_t{0};
+  return ~std::uint64_t{0} << (128 - length);
+}
+
+}  // namespace
+
+IpvNPrefix::IpvNPrefix(IpvNAddr addr, std::uint8_t length)
+    : addr_(addr.hi() & hi_mask(length), addr.lo() & lo_mask(length)),
+      length_(length) {}
+
+bool IpvNPrefix::contains(IpvNAddr addr) const {
+  return (addr.hi() & hi_mask(length_)) == addr_.hi() &&
+         (addr.lo() & lo_mask(length_)) == addr_.lo();
+}
+
+std::string IpvNPrefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string IpvNAddr::to_string() const {
+  char buf[64];
+  if (is_self_address()) {
+    std::snprintf(buf, sizeof buf, "v%u:self:%s", version(),
+                  embedded_v4().to_string().c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, "v%u:%014llx:%016llx", version(),
+                  static_cast<unsigned long long>(hi_ & 0x00FFFFFFFFFFFFFFULL),
+                  static_cast<unsigned long long>(lo_));
+  }
+  return buf;
+}
+
+}  // namespace evo::net

@@ -1,0 +1,209 @@
+// Addresses and prefixes for the "current" (IPv(N-1)) and "next" (IPvN)
+// generations of IP.
+//
+// The simulated IPv(N-1) is IPv4-shaped: 32-bit addresses, CIDR prefixes,
+// longest-prefix-match forwarding. The simulated IPvN is 128-bit with a
+// version tag, because the paper's IPvN is deliberately unconstrained
+// ("we place no particular constraints on the addressing structure") —
+// 128 bits is enough to carry both native allocations and RFC3056-style
+// self-addresses that embed an IPv(N-1) address.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace evo::net {
+
+/// 32-bit IPv(N-1) (IPv4-shaped) address. Value type, totally ordered.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+  /// Dotted-quad rendering, e.g. "10.1.0.1".
+  std::string to_string() const;
+
+  /// Parse dotted-quad; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// CIDR prefix over Ipv4Addr. The address is stored canonicalized (host
+/// bits zeroed), so equal prefixes always compare equal.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Addr addr, std::uint8_t length)
+      : addr_(Ipv4Addr{addr.bits() & mask_bits(length)}), length_(length) {}
+
+  /// A host route (/32) for one address.
+  static constexpr Prefix host(Ipv4Addr addr) { return Prefix{addr, 32}; }
+
+  constexpr Ipv4Addr address() const { return addr_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.bits() & mask_bits(length_)) == addr_.bits();
+  }
+  constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  /// "10.1.0.0/16"
+  std::string to_string() const;
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  static constexpr std::uint32_t mask_bits(std::uint8_t length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// 128-bit IPvN address with an explicit version octet.
+///
+/// Layout (big-endian conceptually):
+///   [127]      self-address flag (1 = RFC3056-style temporary address)
+///   [126:120]  IP version number N (e.g. 8 for "IPv8")
+///   [119:96]   reserved / allocation space tag
+///   [95:32]    allocation-specific bits (native: domain/router/host ids)
+///   [31:0]     for self-addresses: the embedded IPv(N-1) address
+class IpvNAddr {
+ public:
+  constexpr IpvNAddr() = default;
+  constexpr IpvNAddr(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  static constexpr std::uint64_t kSelfFlag = 1ULL << 63;
+
+  /// Native address allocated by an IPvN-deploying provider.
+  static constexpr IpvNAddr native(std::uint8_t version, std::uint32_t domain,
+                                   std::uint32_t node, std::uint32_t host) {
+    const std::uint64_t hi =
+        (static_cast<std::uint64_t>(version & 0x7F) << 56) |
+        (static_cast<std::uint64_t>(domain) << 24) | (node & 0xFFFFFF);
+    return IpvNAddr{hi, (static_cast<std::uint64_t>(node) << 32) | host};
+  }
+
+  /// RFC3056-style self-address: flag bit set, version, embedded v4 bits.
+  /// "using one address bit to indicate such 'self addressing' and deriving
+  /// the remaining IPvN address bits from the endhost's unique IPv(N-1)
+  /// address" (paper, §3.3.2).
+  static constexpr IpvNAddr self(std::uint8_t version, Ipv4Addr v4) {
+    const std::uint64_t hi =
+        kSelfFlag | (static_cast<std::uint64_t>(version & 0x7F) << 56);
+    return IpvNAddr{hi, v4.bits()};
+  }
+
+  constexpr bool is_self_address() const { return (hi_ & kSelfFlag) != 0; }
+  constexpr std::uint8_t version() const {
+    return static_cast<std::uint8_t>((hi_ >> 56) & 0x7F);
+  }
+
+  /// For native addresses: the allocating domain / access router / host
+  /// fields laid down by native().
+  constexpr std::uint32_t native_domain() const {
+    return static_cast<std::uint32_t>((hi_ >> 24) & 0xFFFFFFFF);
+  }
+  constexpr std::uint32_t native_node() const {
+    return static_cast<std::uint32_t>(lo_ >> 32);
+  }
+  constexpr std::uint32_t native_host() const {
+    return static_cast<std::uint32_t>(lo_ & 0xFFFFFFFF);
+  }
+
+  /// For self-addresses: the embedded IPv(N-1) address.
+  constexpr Ipv4Addr embedded_v4() const {
+    return Ipv4Addr{static_cast<std::uint32_t>(lo_ & 0xFFFFFFFF)};
+  }
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  constexpr bool is_unspecified() const { return hi_ == 0 && lo_ == 0; }
+
+  friend constexpr auto operator<=>(IpvNAddr, IpvNAddr) = default;
+
+  /// "vN:hex-hi:hex-lo" or "vN:self:a.b.c.d".
+  std::string to_string() const;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// Prefix over IPvN addresses. Length in [0, 128]; canonicalized.
+class IpvNPrefix {
+ public:
+  constexpr IpvNPrefix() = default;
+  IpvNPrefix(IpvNAddr addr, std::uint8_t length);
+
+  /// A host route (/128).
+  static IpvNPrefix host(IpvNAddr addr) { return IpvNPrefix{addr, 128}; }
+
+  IpvNAddr address() const { return addr_; }
+  std::uint8_t length() const { return length_; }
+
+  bool contains(IpvNAddr addr) const;
+
+  friend constexpr auto operator<=>(const IpvNPrefix&, const IpvNPrefix&) = default;
+
+  std::string to_string() const;
+
+ private:
+  IpvNAddr addr_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace evo::net
+
+namespace std {
+
+template <>
+struct hash<evo::net::Ipv4Addr> {
+  std::size_t operator()(evo::net::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct hash<evo::net::Prefix> {
+  std::size_t operator()(const evo::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.address().bits()) << 8) | p.length());
+  }
+};
+
+template <>
+struct hash<evo::net::IpvNAddr> {
+  std::size_t operator()(const evo::net::IpvNAddr& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.hi() * 0x9E3779B97f4A7C15ULL ^ a.lo());
+  }
+};
+
+template <>
+struct hash<evo::net::IpvNPrefix> {
+  std::size_t operator()(const evo::net::IpvNPrefix& p) const noexcept {
+    return std::hash<evo::net::IpvNAddr>{}(p.address()) * 31 + p.length();
+  }
+};
+
+}  // namespace std

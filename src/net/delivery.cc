@@ -1,0 +1,62 @@
+#include "net/delivery.h"
+
+#include <cassert>
+
+namespace evo::net {
+
+DeliveryEngine::DeliveryEngine(sim::Simulator& simulator, const Network& network)
+    : simulator_(simulator), network_(network) {}
+
+void DeliveryEngine::inject(NodeId node, Packet packet, DeliveredFn on_delivered,
+                            DroppedFn on_dropped) {
+  assert(!packet.empty() && packet.outer().kind == HeaderLayer::Kind::kIpv4 &&
+         "forwarding acts on an outer IPv4 header");
+  step(node, std::move(packet), simulator_.now(), std::move(on_delivered),
+       std::move(on_dropped));
+}
+
+void DeliveryEngine::drop(Network::TraceResult::Outcome reason, NodeId at,
+                          const Packet& packet, const DroppedFn& on_dropped) {
+  ++dropped_;
+  if (on_dropped) on_dropped(reason, at, packet);
+}
+
+void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at,
+                          DeliveredFn on_delivered, DroppedFn on_dropped) {
+  const Ipv4Addr dst = packet.outer().v4.dst;
+  if (network_.delivers_locally(node, dst)) {
+    ++delivered_;
+    on_delivered(node, packet, simulator_.now() - injected_at);
+    return;
+  }
+  if (packet.outer().v4.ttl == 0) {
+    drop(Network::TraceResult::Outcome::kTtlExpired, node, packet, on_dropped);
+    return;
+  }
+  const FibEntry* entry = network_.fib(node).lookup(dst);
+  if (entry == nullptr || !entry->next_hop.valid()) {
+    drop(Network::TraceResult::Outcome::kNoRoute, node, packet, on_dropped);
+    return;
+  }
+  sim::Duration latency = sim::Duration::millis(1);
+  if (entry->out_link.valid()) {
+    const Link& link = network_.topology().link(entry->out_link);
+    if (!link.up) {
+      drop(Network::TraceResult::Outcome::kLinkDown, node, packet, on_dropped);
+      return;
+    }
+    latency = link.latency;
+  }
+  --packet.outer().v4.ttl;
+  ++hops_forwarded_;
+  const NodeId next = entry->next_hop;
+  simulator_.schedule_after(
+      latency, [this, next, packet = std::move(packet), injected_at,
+                on_delivered = std::move(on_delivered),
+                on_dropped = std::move(on_dropped)]() mutable {
+        step(next, std::move(packet), injected_at, std::move(on_delivered),
+             std::move(on_dropped));
+      });
+}
+
+}  // namespace evo::net

@@ -1,0 +1,146 @@
+#include "net/fib.h"
+
+#include <functional>
+
+namespace evo::net {
+
+const char* to_string(RouteOrigin origin) {
+  switch (origin) {
+    case RouteOrigin::kConnected: return "connected";
+    case RouteOrigin::kIgp: return "igp";
+    case RouteOrigin::kBgp: return "bgp";
+    case RouteOrigin::kAnycast: return "anycast";
+    case RouteOrigin::kStatic: return "static";
+  }
+  return "?";
+}
+
+struct Fib::TrieNode {
+  std::unique_ptr<TrieNode> child[2];
+  std::optional<FibEntry> entry;
+};
+
+Fib::Fib() : root_(std::make_unique<TrieNode>()) {}
+Fib::~Fib() = default;
+Fib::Fib(Fib&&) noexcept = default;
+Fib& Fib::operator=(Fib&&) noexcept = default;
+
+namespace {
+
+/// Bit `i` (0 = most significant) of an address.
+inline unsigned bit_at(Ipv4Addr addr, unsigned i) {
+  return (addr.bits() >> (31 - i)) & 1u;
+}
+
+}  // namespace
+
+void Fib::insert(const FibEntry& entry) {
+  TrieNode* node = root_.get();
+  for (unsigned i = 0; i < entry.prefix.length(); ++i) {
+    const unsigned b = bit_at(entry.prefix.address(), i);
+    if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
+    node = node->child[b].get();
+  }
+  if (!node->entry) ++size_;
+  node->entry = entry;
+}
+
+bool Fib::remove(const Prefix& prefix) {
+  TrieNode* node = root_.get();
+  for (unsigned i = 0; i < prefix.length(); ++i) {
+    const unsigned b = bit_at(prefix.address(), i);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+  }
+  if (!node->entry) return false;
+  node->entry.reset();
+  --size_;
+  // Dangling interior nodes are left in place; they are reclaimed on
+  // clear(). This keeps remove() O(length) with no parent tracking.
+  return true;
+}
+
+std::size_t Fib::remove_origin(RouteOrigin origin) {
+  std::size_t removed = 0;
+  std::function<void(TrieNode*)> walk = [&](TrieNode* node) {
+    if (node->entry && node->entry->origin == origin) {
+      node->entry.reset();
+      --size_;
+      ++removed;
+    }
+    for (auto& child : node->child) {
+      if (child) walk(child.get());
+    }
+  };
+  walk(root_.get());
+  return removed;
+}
+
+const FibEntry* Fib::lookup(Ipv4Addr addr) const {
+  const TrieNode* node = root_.get();
+  const FibEntry* best = node->entry ? &*node->entry : nullptr;
+  for (unsigned i = 0; i < 32 && node; ++i) {
+    const unsigned b = bit_at(addr, i);
+    node = node->child[b].get();
+    if (node && node->entry) best = &*node->entry;
+  }
+  return best;
+}
+
+const FibEntry* Fib::find(const Prefix& prefix) const {
+  const TrieNode* node = root_.get();
+  for (unsigned i = 0; i < prefix.length(); ++i) {
+    const unsigned b = bit_at(prefix.address(), i);
+    if (!node->child[b]) return nullptr;
+    node = node->child[b].get();
+  }
+  return node->entry ? &*node->entry : nullptr;
+}
+
+std::size_t Fib::size_with_origin(RouteOrigin origin) const {
+  std::size_t count = 0;
+  std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
+    if (node->entry && node->entry->origin == origin) ++count;
+    for (const auto& child : node->child) {
+      if (child) walk(child.get());
+    }
+  };
+  walk(root_.get());
+  return count;
+}
+
+std::vector<FibEntry> Fib::entries() const {
+  std::vector<FibEntry> out;
+  out.reserve(size_);
+  std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
+    if (node->entry) out.push_back(*node->entry);
+    for (const auto& child : node->child) {
+      if (child) walk(child.get());
+    }
+  };
+  walk(root_.get());
+  return out;
+}
+
+void Fib::clear() {
+  root_ = std::make_unique<TrieNode>();
+  size_ = 0;
+}
+
+std::string Fib::dump() const {
+  std::string out;
+  for (const auto& e : entries()) {
+    out += e.prefix.to_string();
+    out += " -> ";
+    out += e.next_hop.valid() ? ("node " + std::to_string(e.next_hop.value()))
+                              : std::string("local");
+    out += " (";
+    out += to_string(e.origin);
+    out += ", metric ";
+    out += std::to_string(e.metric);
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace evo::net

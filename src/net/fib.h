@@ -1,0 +1,82 @@
+// Forwarding Information Base: longest-prefix-match over a binary trie.
+//
+// Each router holds one Fib for IPv(N-1) forwarding. Entries record where
+// a route came from (connected / IGP / BGP / anycast) so experiments can
+// count per-origin state — e.g. the paper's §3.2 scalability claim that
+// Option-1 anycast "leads to routing state that grows in direct proportion
+// to the number of anycast groups".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/graph.h"
+#include "net/ids.h"
+
+namespace evo::net {
+
+enum class RouteOrigin : std::uint8_t {
+  kConnected,  // local interface / loopback
+  kIgp,        // intra-domain routing
+  kBgp,        // inter-domain routing
+  kAnycast,    // anycast member advertisement
+  kStatic,     // operator configuration
+};
+
+const char* to_string(RouteOrigin origin);
+
+struct FibEntry {
+  Prefix prefix;
+  NodeId next_hop;  // invalid() => deliver locally
+  LinkId out_link;  // invalid() for local delivery
+  RouteOrigin origin = RouteOrigin::kStatic;
+  Cost metric = 0;  // distance the producing protocol assigned
+};
+
+/// Binary-trie FIB with longest-prefix-match lookup.
+class Fib {
+ public:
+  Fib();
+  ~Fib();
+  Fib(Fib&&) noexcept;
+  Fib& operator=(Fib&&) noexcept;
+  Fib(const Fib&) = delete;
+  Fib& operator=(const Fib&) = delete;
+
+  /// Insert or replace the entry for `entry.prefix`.
+  void insert(const FibEntry& entry);
+
+  /// Remove the entry for `prefix` if present; returns true if removed.
+  bool remove(const Prefix& prefix);
+
+  /// Remove every entry with the given origin; returns how many.
+  std::size_t remove_origin(RouteOrigin origin);
+
+  /// Longest-prefix match; nullptr when no route covers `addr`.
+  const FibEntry* lookup(Ipv4Addr addr) const;
+
+  /// Exact-prefix fetch (no LPM); nullptr if absent.
+  const FibEntry* find(const Prefix& prefix) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t size_with_origin(RouteOrigin origin) const;
+
+  /// All entries, in trie (prefix) order.
+  std::vector<FibEntry> entries() const;
+
+  void clear();
+
+  /// Multi-line diagnostic dump.
+  std::string dump() const;
+
+ private:
+  struct TrieNode;
+  std::unique_ptr<TrieNode> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace evo::net

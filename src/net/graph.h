@@ -1,0 +1,91 @@
+// Weighted graph over NodeIds with shortest-path algorithms.
+//
+// Used both by the routing protocols (SPF over a link-state database) and
+// as the experiments' ground-truth oracle (exact closest-member distances
+// for anycast stretch measurements).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace evo::net {
+
+/// Link cost / path distance. Integer for exact determinism.
+using Cost = std::uint64_t;
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::max();
+
+/// Adjacency-list weighted graph. Nodes are dense indices [0, size).
+/// Edges can be added directed or (the common case for links) symmetric.
+class Graph {
+ public:
+  struct Edge {
+    NodeId to;
+    Cost cost = 1;
+    LinkId link;  // invalid() when the edge has no physical-link identity
+  };
+
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Grow to at least `node_count` nodes.
+  void ensure_size(std::size_t node_count) {
+    if (adjacency_.size() < node_count) adjacency_.resize(node_count);
+  }
+
+  void add_edge(NodeId from, NodeId to, Cost cost, LinkId link = LinkId::invalid());
+  void add_undirected_edge(NodeId a, NodeId b, Cost cost,
+                           LinkId link = LinkId::invalid());
+
+  std::span<const Edge> neighbors(NodeId node) const {
+    return adjacency_[node.value()];
+  }
+
+  std::size_t edge_count() const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+/// Result of a (multi-source) Dijkstra run.
+struct ShortestPaths {
+  std::vector<Cost> distance;        // kInfiniteCost if unreachable
+  std::vector<NodeId> predecessor;   // invalid() at sources / unreachable
+  std::vector<NodeId> source_of;     // which source serves this node
+
+  bool reachable(NodeId node) const {
+    return distance[node.value()] != kInfiniteCost;
+  }
+  Cost distance_to(NodeId node) const { return distance[node.value()]; }
+
+  /// Path from the serving source to `node` (inclusive); empty if
+  /// unreachable.
+  std::vector<NodeId> path_to(NodeId node) const;
+};
+
+/// Single-source shortest paths.
+ShortestPaths dijkstra(const Graph& graph, NodeId source);
+
+/// Multi-source shortest paths: distance to the *nearest* source, and which
+/// source that is. This is exactly the anycast delivery oracle — "the
+/// server closest to the client host where closest is defined in terms of
+/// the network's measure of routing distance" (RFC 1546 via the paper).
+ShortestPaths dijkstra(const Graph& graph, std::span<const NodeId> sources);
+
+/// Connected components (treating edges as undirected); returns a label per
+/// node and the number of components.
+struct Components {
+  std::vector<std::uint32_t> label;
+  std::uint32_t count = 0;
+};
+Components connected_components(const Graph& graph);
+
+/// Hop-count BFS from a single source (all edge costs treated as 1).
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source);
+
+}  // namespace evo::net

@@ -1,0 +1,69 @@
+// Strong identifier types for network entities.
+//
+// NodeId, LinkId, DomainId, HostId and GroupId are distinct wrapper types so
+// a router index can never be passed where a domain index is expected
+// (C++ Core Guidelines P.1/P.4). Each has an invalid() sentinel and hashes.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace evo::net {
+
+namespace detail {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying value) : value_(value) {}
+
+  static constexpr Id invalid() {
+    return Id{std::numeric_limits<underlying>::max()};
+  }
+
+  constexpr underlying value() const { return value_; }
+  constexpr bool valid() const { return *this != invalid(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying value_ = std::numeric_limits<underlying>::max();
+};
+
+}  // namespace detail
+
+struct NodeTag {};
+struct LinkTag {};
+struct DomainTag {};
+struct HostTag {};
+struct GroupTag {};
+
+/// A router (or switch) in the physical topology.
+using NodeId = detail::Id<NodeTag>;
+/// A physical link between two nodes.
+using LinkId = detail::Id<LinkTag>;
+/// An ISP domain (autonomous system).
+using DomainId = detail::Id<DomainTag>;
+/// An endhost attached to an access router.
+using HostId = detail::Id<HostTag>;
+/// An anycast group.
+using GroupId = detail::Id<GroupTag>;
+
+}  // namespace evo::net
+
+namespace std {
+
+template <typename Tag>
+struct hash<evo::net::detail::Id<Tag>> {
+  std::size_t operator()(evo::net::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,115 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace evo::net {
+
+const char* to_string(Network::TraceResult::Outcome outcome) {
+  using Outcome = Network::TraceResult::Outcome;
+  switch (outcome) {
+    case Outcome::kDelivered: return "delivered";
+    case Outcome::kNoRoute: return "no-route";
+    case Outcome::kTtlExpired: return "ttl-expired";
+    case Outcome::kForwardingLoop: return "forwarding-loop";
+    case Outcome::kLinkDown: return "link-down";
+  }
+  return "?";
+}
+
+Network::Network(Topology topology) : topology_(std::move(topology)) {
+  fibs_.resize(topology_.router_count());
+  local_addresses_.resize(topology_.router_count());
+  install_connected_routes();
+}
+
+void Network::add_local_address(NodeId node, Ipv4Addr addr) {
+  local_addresses_[node.value()].insert(addr);
+}
+
+void Network::remove_local_address(NodeId node, Ipv4Addr addr) {
+  local_addresses_[node.value()].erase(addr);
+}
+
+bool Network::has_local_address(NodeId node, Ipv4Addr addr) const {
+  return local_addresses_[node.value()].contains(addr);
+}
+
+bool Network::delivers_locally(NodeId node, Ipv4Addr dst) const {
+  const auto& router = topology_.router(node);
+  if (router.loopback == dst) return true;
+  if (local_addresses_[node.value()].contains(dst)) return true;
+  return Topology::router_subnet(router.domain, router.index_in_domain).contains(dst);
+}
+
+void Network::install_connected_routes() {
+  if (fibs_.size() < topology_.router_count()) {
+    fibs_.resize(topology_.router_count());
+    local_addresses_.resize(topology_.router_count());
+  }
+  for (const auto& router : topology_.routers()) {
+    auto& fib = fibs_[router.id.value()];
+    fib.insert(FibEntry{Prefix::host(router.loopback), NodeId::invalid(),
+                        LinkId::invalid(), RouteOrigin::kConnected, 0});
+    fib.insert(FibEntry{Topology::router_subnet(router.domain, router.index_in_domain),
+                        NodeId::invalid(), LinkId::invalid(), RouteOrigin::kConnected,
+                        0});
+  }
+}
+
+Network::TraceResult Network::trace(NodeId from, Ipv4Addr dst,
+                                    unsigned max_hops) const {
+  TraceResult result;
+  result.hops.push_back(from);
+
+  std::unordered_set<std::uint32_t> visited;
+  NodeId current = from;
+  for (unsigned hop = 0; hop <= max_hops; ++hop) {
+    if (delivers_locally(current, dst)) {
+      result.outcome = TraceResult::Outcome::kDelivered;
+      result.delivered_at = current;
+      return result;
+    }
+    if (!visited.insert(current.value()).second) {
+      result.outcome = TraceResult::Outcome::kForwardingLoop;
+      return result;
+    }
+    const FibEntry* entry = fibs_[current.value()].lookup(dst);
+    if (entry == nullptr || !entry->next_hop.valid()) {
+      // A local-delivery entry that didn't match delivers_locally means a
+      // stale route; treat both as no-route.
+      result.outcome = TraceResult::Outcome::kNoRoute;
+      return result;
+    }
+    if (entry->out_link.valid()) {
+      const Link& link = topology_.link(entry->out_link);
+      if (!link.up) {
+        result.outcome = TraceResult::Outcome::kLinkDown;
+        return result;
+      }
+      result.cost += link.cost;
+      result.latency += link.latency;
+    } else {
+      result.cost += 1;  // next hop known but link identity elided
+    }
+    current = entry->next_hop;
+    result.hops.push_back(current);
+  }
+  result.outcome = TraceResult::Outcome::kTtlExpired;
+  return result;
+}
+
+std::string Network::describe(const TraceResult& result) const {
+  std::string out = to_string(result.outcome);
+  out += ":";
+  for (const NodeId hop : result.hops) {
+    out += " ";
+    const auto& router = topology_.router(hop);
+    out += topology_.domain(router.domain).name;
+    out += "/r";
+    out += std::to_string(router.index_in_domain);
+  }
+  out += " (cost " + std::to_string(result.cost) + ")";
+  return out;
+}
+
+}  // namespace evo::net

@@ -1,0 +1,77 @@
+// The IPv(N-1) data plane: per-router FIBs and hop-by-hop forwarding.
+//
+// The control plane (IGP, BGP, anycast advertisement) runs event-driven in
+// the simulator and *installs* routes here; tracing a packet is then a
+// synchronous FIB walk, cheap enough for millions of probes per benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/fib.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace evo::net {
+
+class Network {
+ public:
+  explicit Network(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+  Topology& topology() { return topology_; }
+
+  Fib& fib(NodeId node) { return fibs_[node.value()]; }
+  const Fib& fib(NodeId node) const { return fibs_[node.value()]; }
+
+  /// Extra addresses a node accepts for local delivery beyond its loopback
+  /// and connected subnet — this is how an IPvN router "accepts delivery of
+  /// packets destined to [the anycast address] A4" (paper §3.1).
+  void add_local_address(NodeId node, Ipv4Addr addr);
+  void remove_local_address(NodeId node, Ipv4Addr addr);
+  bool has_local_address(NodeId node, Ipv4Addr addr) const;
+
+  /// True if `node` delivers `dst` locally: loopback, registered local
+  /// address, or an attached-subnet address.
+  bool delivers_locally(NodeId node, Ipv4Addr dst) const;
+
+  /// Install connected routes (loopback /32 + router subnet /24) on every
+  /// router. Called by the constructor; call again after adding routers.
+  void install_connected_routes();
+
+  struct TraceResult {
+    enum class Outcome : std::uint8_t {
+      kDelivered,
+      kNoRoute,
+      kTtlExpired,
+      kForwardingLoop,
+      kLinkDown,
+    };
+    Outcome outcome = Outcome::kNoRoute;
+    std::vector<NodeId> hops;  // starts with the injection node
+    NodeId delivered_at;       // valid only when kDelivered
+    Cost cost = 0;             // sum of traversed link costs
+    sim::Duration latency;     // sum of traversed link latencies
+
+    bool delivered() const { return outcome == Outcome::kDelivered; }
+    std::size_t hop_count() const { return hops.empty() ? 0 : hops.size() - 1; }
+  };
+
+  /// Walk FIBs from `from` toward `dst`. Deterministic and side-effect
+  /// free.
+  TraceResult trace(NodeId from, Ipv4Addr dst, unsigned max_hops = 255) const;
+
+  std::string describe(const TraceResult& result) const;
+
+ private:
+  Topology topology_;
+  std::vector<Fib> fibs_;
+  std::vector<std::unordered_set<Ipv4Addr>> local_addresses_;
+};
+
+const char* to_string(Network::TraceResult::Outcome outcome);
+
+}  // namespace evo::net

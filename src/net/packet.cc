@@ -1,0 +1,29 @@
+#include "net/packet.h"
+
+namespace evo::net {
+
+std::string Packet::describe() const {
+  std::string out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if (!out.empty()) out += " | ";
+    if (it->kind == HeaderLayer::Kind::kIpv4) {
+      out += "v4[" + it->v4.src.to_string() + " -> " + it->v4.dst.to_string() + "]";
+    } else {
+      out += "vN[" + it->vn.src.to_string() + " -> " + it->vn.dst.to_string() + "]";
+    }
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+Packet make_encapsulated(IpvNHeader inner, Ipv4Addr outer_src, Ipv4Addr anycast_dst) {
+  Packet p;
+  p.push(HeaderLayer::ipvn(inner));
+  Ipv4Header outer;
+  outer.src = outer_src;
+  outer.dst = anycast_dst;
+  outer.proto = Ipv4Header::Proto::kIpvNEncap;
+  p.push(HeaderLayer::ipv4(outer));
+  return p;
+}
+
+}  // namespace evo::net

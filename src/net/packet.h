@@ -1,0 +1,113 @@
+// Packets as an explicit header stack.
+//
+// The paper's transition mechanism is encapsulation: "any endhost can
+// simply encapsulate an IPv8 packet in an IPv4 packet with destination A4"
+// (§3.1). A Packet therefore carries a stack of headers; the outermost
+// header is what the current hop forwards on. vN-Bone tunnels push/pop
+// additional IPv(N-1) headers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/ids.h"
+
+namespace evo::net {
+
+/// IPv(N-1) (v4-shaped) header.
+struct Ipv4Header {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t ttl = 64;
+  /// Protocol demux: which kind of payload follows.
+  enum class Proto : std::uint8_t {
+    kData = 0,       // plain IPv(N-1) datagram
+    kIpvNEncap = 41, // an IPvN header follows (6in4-style)
+    kControl = 89,   // routing-protocol payloads
+  };
+  Proto proto = Proto::kData;
+};
+
+/// IPvN header. Carries an optional "legacy destination" option field:
+/// "The destination's IPv(N-1) address could either be inferred from its
+/// temporary IPvN address or might be carried in a separate option field
+/// in the IPvN header" (§3.3.2).
+struct IpvNHeader {
+  IpvNAddr src;
+  IpvNAddr dst;
+  std::uint8_t ttl = 64;
+  /// Optional legacy (IPv(N-1)) destination for egress routing; zero if
+  /// absent. Redundant with dst.embedded_v4() for self-addresses.
+  Ipv4Addr legacy_dst;
+  bool has_legacy_dst = false;
+};
+
+/// One layer of the header stack.
+struct HeaderLayer {
+  enum class Kind : std::uint8_t { kIpv4, kIpvN } kind = Kind::kIpv4;
+  Ipv4Header v4;   // valid when kind == kIpv4
+  IpvNHeader vn;   // valid when kind == kIpvN
+
+  static HeaderLayer ipv4(Ipv4Header h) {
+    HeaderLayer l;
+    l.kind = Kind::kIpv4;
+    l.v4 = h;
+    return l;
+  }
+  static HeaderLayer ipvn(IpvNHeader h) {
+    HeaderLayer l;
+    l.kind = Kind::kIpvN;
+    l.vn = h;
+    return l;
+  }
+};
+
+/// A simulated datagram: a stack of headers plus an opaque payload tag the
+/// experiments use to correlate sends with receives.
+class Packet {
+ public:
+  Packet() = default;
+
+  /// Outermost header (the one forwarding acts on). Requires non-empty.
+  HeaderLayer& outer() {
+    assert(!layers_.empty());
+    return layers_.back();
+  }
+  const HeaderLayer& outer() const {
+    assert(!layers_.empty());
+    return layers_.back();
+  }
+
+  bool empty() const { return layers_.empty(); }
+  std::size_t depth() const { return layers_.size(); }
+
+  /// Encapsulate: push a new outermost header.
+  void push(HeaderLayer layer) { layers_.push_back(layer); }
+
+  /// Decapsulate: pop the outermost header. Requires non-empty.
+  HeaderLayer pop() {
+    assert(!layers_.empty());
+    HeaderLayer top = layers_.back();
+    layers_.pop_back();
+    return top;
+  }
+
+  const std::vector<HeaderLayer>& layers() const { return layers_; }
+
+  std::uint64_t payload_id = 0;
+
+  /// Diagnostic rendering of the header stack, outermost first.
+  std::string describe() const;
+
+ private:
+  std::vector<HeaderLayer> layers_;
+};
+
+/// Build the canonical paper packet: an IPvN datagram encapsulated in an
+/// IPv(N-1) datagram addressed to the deployment's anycast address.
+Packet make_encapsulated(IpvNHeader inner, Ipv4Addr outer_src, Ipv4Addr anycast_dst);
+
+}  // namespace evo::net

@@ -1,0 +1,287 @@
+#include "net/topology_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace evo::net {
+
+namespace {
+
+Cost random_cost(const IntraDomainParams& params, sim::Rng& rng) {
+  return static_cast<Cost>(rng.uniform_int(static_cast<std::int64_t>(params.min_cost),
+                                           static_cast<std::int64_t>(params.max_cost)));
+}
+
+/// A random border router of `domain`, or any router when none is marked
+/// border yet (used while wiring the first inter-domain links).
+NodeId random_router(const Topology& topo, DomainId domain, sim::Rng& rng) {
+  const auto& routers = topo.domain(domain).routers;
+  assert(!routers.empty());
+  return routers[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(routers.size()) - 1))];
+}
+
+}  // namespace
+
+void populate_domain(Topology& topo, DomainId domain, const IntraDomainParams& params,
+                     sim::Rng& rng) {
+  assert(topo.domain(domain).routers.empty() && "domain already populated");
+  std::vector<NodeId> routers;
+  routers.reserve(params.routers);
+  for (std::uint32_t i = 0; i < params.routers; ++i) {
+    routers.push_back(topo.add_router(domain));
+  }
+  if (params.routers == 1) return;
+  // Connectivity ring.
+  for (std::uint32_t i = 0; i < params.routers; ++i) {
+    const auto j = (i + 1) % params.routers;
+    if (params.routers == 2 && j == 0) break;  // avoid a duplicate pair link
+    topo.add_link(routers[i], routers[j], random_cost(params, rng));
+  }
+  // Random chords.
+  for (std::uint32_t i = 0; i + 2 < params.routers; ++i) {
+    for (std::uint32_t j = i + 2; j < params.routers; ++j) {
+      if (i == 0 && j == params.routers - 1) continue;  // ring edge already
+      if (rng.bernoulli(params.chord_probability)) {
+        topo.add_link(routers[i], routers[j], random_cost(params, rng));
+      }
+    }
+  }
+}
+
+void populate_domain_waxman(Topology& topo, DomainId domain,
+                            const WaxmanParams& params, sim::Rng& rng) {
+  assert(topo.domain(domain).routers.empty() && "domain already populated");
+  assert(params.routers >= 1);
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> points;
+  std::vector<NodeId> routers;
+  for (std::uint32_t i = 0; i < params.routers; ++i) {
+    routers.push_back(topo.add_router(domain));
+    points.push_back(Point{rng.uniform(), rng.uniform()});
+  }
+  auto distance = [&](std::uint32_t i, std::uint32_t j) {
+    const double dx = points[i].x - points[j].x;
+    const double dy = points[i].y - points[j].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  auto link_cost = [&](double d) {
+    return std::max<Cost>(1, static_cast<Cost>(d * params.cost_scale + 0.5));
+  };
+  const double diag = std::sqrt(2.0);
+  for (std::uint32_t i = 0; i < params.routers; ++i) {
+    for (std::uint32_t j = i + 1; j < params.routers; ++j) {
+      const double d = distance(i, j);
+      const double p = params.alpha * std::exp(-d / (params.beta * diag));
+      if (rng.uniform() < p) {
+        topo.add_link(routers[i], routers[j], link_cost(d));
+      }
+    }
+  }
+  // Stitch any disconnected components with their cheapest bridging edge.
+  while (true) {
+    const auto comps = connected_components(topo.domain_graph(domain));
+    bool split = false;
+    for (const NodeId r : routers) {
+      split = split || comps.label[r.value()] != comps.label[routers[0].value()];
+    }
+    if (!split) break;
+    double best_d = std::numeric_limits<double>::max();
+    std::uint32_t best_i = 0;
+    std::uint32_t best_j = 0;
+    for (std::uint32_t i = 0; i < params.routers; ++i) {
+      for (std::uint32_t j = i + 1; j < params.routers; ++j) {
+        if (comps.label[routers[i].value()] == comps.label[routers[j].value()]) {
+          continue;
+        }
+        const double d = distance(i, j);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    topo.add_link(routers[best_i], routers[best_j], link_cost(best_d));
+  }
+}
+
+Topology generate_transit_stub(const TransitStubParams& params) {
+  assert(params.transit_domains >= 1);
+  sim::Rng rng{params.seed};
+  Topology topo;
+
+  auto populate = [&](DomainId d, const IntraDomainParams& internal) {
+    if (params.waxman_interiors) {
+      WaxmanParams waxman;
+      waxman.routers = internal.routers;
+      waxman.cost_scale = static_cast<double>(internal.max_cost);
+      populate_domain_waxman(topo, d, waxman, rng);
+    } else {
+      populate_domain(topo, d, internal, rng);
+    }
+  };
+
+  std::vector<DomainId> transits;
+  for (std::uint32_t t = 0; t < params.transit_domains; ++t) {
+    const auto d = topo.add_domain("transit-" + std::to_string(t), /*stub=*/false);
+    populate(d, params.transit_internal);
+    transits.push_back(d);
+  }
+
+  // Transit core: ring for connectivity + extra random peerings.
+  for (std::uint32_t t = 0; params.transit_domains > 1 && t < params.transit_domains;
+       ++t) {
+    const auto u = transits[t];
+    const auto v = transits[(t + 1) % params.transit_domains];
+    if (params.transit_domains == 2 && t == 1) break;
+    topo.add_interdomain_link(random_router(topo, u, rng), random_router(topo, v, rng),
+                              Relationship::kPeer);
+  }
+  for (std::uint32_t i = 0; i + 2 < params.transit_domains; ++i) {
+    for (std::uint32_t j = i + 2; j < params.transit_domains; ++j) {
+      if (i == 0 && j == params.transit_domains - 1) continue;
+      if (rng.bernoulli(params.extra_transit_peering_probability)) {
+        topo.add_interdomain_link(random_router(topo, transits[i], rng),
+                                  random_router(topo, transits[j], rng),
+                                  Relationship::kPeer);
+      }
+    }
+  }
+
+  // Stub domains: customers of their transit provider(s).
+  for (std::uint32_t t = 0; t < params.transit_domains; ++t) {
+    for (std::uint32_t s = 0; s < params.stubs_per_transit; ++s) {
+      const auto d = topo.add_domain(
+          "stub-" + std::to_string(t) + "." + std::to_string(s), /*stub=*/true);
+      populate(d, params.stub_internal);
+      // Provider link: from the transit's perspective the stub is a customer.
+      topo.add_interdomain_link(random_router(topo, transits[t], rng),
+                                random_router(topo, d, rng), Relationship::kCustomer);
+      if (params.transit_domains > 1 && rng.bernoulli(params.multihoming_probability)) {
+        std::uint32_t other = t;
+        while (other == t) {
+          other = static_cast<std::uint32_t>(
+              rng.uniform_int(0, params.transit_domains - 1));
+        }
+        topo.add_interdomain_link(random_router(topo, transits[other], rng),
+                                  random_router(topo, d, rng),
+                                  Relationship::kCustomer);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology generate_barabasi_albert(const BarabasiAlbertParams& params) {
+  assert(params.domains >= 2);
+  sim::Rng rng{params.seed};
+  Topology topo;
+
+  std::vector<DomainId> domains;
+  // Degree-proportional attachment implemented by repeating each endpoint
+  // of every edge in this bag.
+  std::vector<DomainId> attachment_bag;
+
+  for (std::uint32_t i = 0; i < params.domains; ++i) {
+    const auto d = topo.add_domain("as-" + std::to_string(i), /*stub=*/false);
+    populate_domain(topo, d, params.internal, rng);
+    domains.push_back(d);
+    if (i == 0) {
+      attachment_bag.push_back(d);
+      continue;
+    }
+    const std::uint32_t m = std::min(params.edges_per_new_domain, i);
+    std::vector<DomainId> chosen;
+    while (chosen.size() < m) {
+      const DomainId candidate = attachment_bag[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(attachment_bag.size()) - 1))];
+      if (candidate == d) continue;
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) continue;
+      chosen.push_back(candidate);
+    }
+    for (const DomainId provider : chosen) {
+      // The established (higher-degree) domain acts as the provider.
+      topo.add_interdomain_link(random_router(topo, provider, rng),
+                                random_router(topo, d, rng), Relationship::kCustomer);
+      attachment_bag.push_back(provider);
+      attachment_bag.push_back(d);
+    }
+  }
+  // No stub flags here: in a scale-free graph every domain is
+  // host-eligible, which attach_hosts handles via its no-stub fallback.
+  (void)domains;
+  return topo;
+}
+
+namespace {
+
+Topology single_domain(std::uint32_t routers, const char* name) {
+  Topology topo;
+  const auto d = topo.add_domain(name, /*stub=*/true);
+  for (std::uint32_t i = 0; i < routers; ++i) topo.add_router(d);
+  return topo;
+}
+
+}  // namespace
+
+Topology single_domain_line(std::uint32_t routers, Cost cost) {
+  Topology topo = single_domain(routers, "line");
+  const auto& nodes = topo.domain(DomainId{0}).routers;
+  for (std::uint32_t i = 0; i + 1 < routers; ++i) {
+    topo.add_link(nodes[i], nodes[i + 1], cost);
+  }
+  return topo;
+}
+
+Topology single_domain_ring(std::uint32_t routers, Cost cost) {
+  assert(routers >= 3);
+  Topology topo = single_domain(routers, "ring");
+  const auto& nodes = topo.domain(DomainId{0}).routers;
+  for (std::uint32_t i = 0; i < routers; ++i) {
+    topo.add_link(nodes[i], nodes[(i + 1) % routers], cost);
+  }
+  return topo;
+}
+
+Topology single_domain_star(std::uint32_t leaves, Cost cost) {
+  Topology topo = single_domain(leaves + 1, "star");
+  const auto& nodes = topo.domain(DomainId{0}).routers;
+  for (std::uint32_t i = 1; i <= leaves; ++i) {
+    topo.add_link(nodes[0], nodes[i], cost);
+  }
+  return topo;
+}
+
+Topology single_domain_grid(std::uint32_t width, std::uint32_t height) {
+  assert(width >= 1 && height >= 1);
+  Topology topo = single_domain(width * height, "grid");
+  const auto& nodes = topo.domain(DomainId{0}).routers;
+  const auto at = [&](std::uint32_t x, std::uint32_t y) { return nodes[y * width + x]; };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) topo.add_link(at(x, y), at(x + 1, y), 1);
+      if (y + 1 < height) topo.add_link(at(x, y), at(x, y + 1), 1);
+    }
+  }
+  return topo;
+}
+
+void attach_hosts(Topology& topo, std::uint32_t hosts_per_domain, sim::Rng& rng) {
+  bool any_stub = false;
+  for (const auto& d : topo.domains()) any_stub = any_stub || d.stub;
+  for (const auto& d : topo.domains()) {
+    if (any_stub && !d.stub) continue;
+    for (std::uint32_t h = 0; h < hosts_per_domain; ++h) {
+      topo.add_host(random_router(topo, d.id, rng));
+    }
+  }
+}
+
+}  // namespace evo::net

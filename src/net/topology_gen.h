@@ -1,0 +1,99 @@
+// Synthetic Internet topology generators.
+//
+// The paper has no traces or testbed topology; its claims are structural.
+// We generate transit-stub topologies (the standard model of the
+// multi-provider Internet: a core of transit ISPs with customer stub
+// domains hanging off them), plus ring/line/star/grid helpers for unit
+// tests and a Barabási–Albert preferential-attachment AS graph for
+// scale-free sweeps. All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "sim/random.h"
+
+namespace evo::net {
+
+struct IntraDomainParams {
+  std::uint32_t routers = 4;
+  /// Probability of each extra chord beyond the connectivity ring.
+  double chord_probability = 0.3;
+  Cost min_cost = 1;
+  Cost max_cost = 10;
+};
+
+/// Populate an existing (empty) domain with a connected random router
+/// graph: a ring for guaranteed connectivity plus random chords.
+void populate_domain(Topology& topo, DomainId domain, const IntraDomainParams& params,
+                     sim::Rng& rng);
+
+struct WaxmanParams {
+  std::uint32_t routers = 12;
+  /// Overall edge density (Waxman's alpha).
+  double alpha = 0.9;
+  /// Distance sensitivity (Waxman's beta): smaller = strongly local edges.
+  double beta = 0.25;
+  /// Link cost per unit of Euclidean distance (unit square geometry).
+  double cost_scale = 10.0;
+};
+
+/// Populate an existing (empty) domain with a Waxman random-geometric
+/// router graph: routers at uniform points in the unit square, edge
+/// probability alpha * exp(-d / (beta * sqrt(2))), costs proportional to
+/// distance. Disconnected components are stitched with their cheapest
+/// inter-component edge, so the result is always connected.
+void populate_domain_waxman(Topology& topo, DomainId domain,
+                            const WaxmanParams& params, sim::Rng& rng);
+
+struct TransitStubParams {
+  std::uint32_t transit_domains = 4;
+  std::uint32_t stubs_per_transit = 4;
+  IntraDomainParams transit_internal{.routers = 8, .chord_probability = 0.4};
+  IntraDomainParams stub_internal{.routers = 3, .chord_probability = 0.2};
+  /// Use Waxman random-geometric interiors instead of ring+chords (router
+  /// counts still come from the IntraDomainParams above).
+  bool waxman_interiors = false;
+  /// Probability of each transit-transit peering beyond the connectivity
+  /// ring. Defaults to a full mesh: settlement-free peers do not transit
+  /// for each other (valley-freeness), so a complete core — like the real
+  /// tier-1 mesh — is what guarantees global reachability.
+  double extra_transit_peering_probability = 1.0;
+  /// Probability a stub is multi-homed to a second transit provider.
+  double multihoming_probability = 0.15;
+  std::uint64_t seed = 1;
+};
+
+/// Transit-stub Internet: transit domains peer with each other; stubs are
+/// customers of their transit provider(s).
+Topology generate_transit_stub(const TransitStubParams& params);
+
+struct BarabasiAlbertParams {
+  std::uint32_t domains = 64;
+  std::uint32_t edges_per_new_domain = 2;
+  IntraDomainParams internal{.routers = 3, .chord_probability = 0.2};
+  std::uint64_t seed = 1;
+};
+
+/// Scale-free AS-level topology via preferential attachment. Higher-degree
+/// (earlier) domains act as providers of later attachers.
+Topology generate_barabasi_albert(const BarabasiAlbertParams& params);
+
+/// A single domain whose routers form a line: r0 - r1 - ... - r(n-1).
+/// Handy for unit tests with hand-computable distances.
+Topology single_domain_line(std::uint32_t routers, Cost cost = 1);
+
+/// A single domain whose routers form a ring.
+Topology single_domain_ring(std::uint32_t routers, Cost cost = 1);
+
+/// A single domain whose routers form a star: r0 is the hub.
+Topology single_domain_star(std::uint32_t leaves, Cost cost = 1);
+
+/// A single domain laid out as a w x h grid (unit costs).
+Topology single_domain_grid(std::uint32_t width, std::uint32_t height);
+
+/// Attach `hosts_per_domain` hosts to random routers of every stub domain
+/// (or every domain when the topology has no stubs).
+void attach_hosts(Topology& topo, std::uint32_t hosts_per_domain, sim::Rng& rng);
+
+}  // namespace evo::net

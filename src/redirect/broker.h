@@ -1,0 +1,75 @@
+// Application-level redirection via third-party brokers — the §2.2
+// alternative the paper argues against, built so the argument can be
+// measured.
+//
+// "the lookup service could be run by third-party brokers who gather
+// deployment information from each of the ISPs ... When queried by an
+// endhost, the lookup service would return an IP address for a nearby
+// IPvN router."
+//
+// The model captures the paper's two criticisms:
+//   * partial participation (A2): ISPs must opt in to reporting their
+//     deployment to the broker; non-participating ISPs' routers are
+//     invisible, so clients get farther (or no) ingresses;
+//   * staleness / loss of control: the broker's view is a snapshot taken
+//     at refresh time — deployment changes after that produce redirects
+//     to routers that no longer serve IPvN, which fail outright. The
+//     network-level (anycast) mechanism self-manages and has neither
+//     problem.
+// A third structural difference needs no code: the broker is a new
+// market entity between ISPs and users, which assumption A3 rules out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+
+namespace evo::redirect {
+
+class BrokerService {
+ public:
+  /// The broker serves lookups about `internet`'s IPvN deployment. The
+  /// reference must outlive this object.
+  explicit BrokerService(const core::EvolvableInternet& internet);
+
+  /// ISP opt-in: only participating domains report their deployed
+  /// routers. Defaults to nobody (the paper's point: why would they?).
+  void set_participation(net::DomainId domain, bool participates);
+  void set_all_participating();
+  bool participates(net::DomainId domain) const;
+
+  /// Snapshot the participating ISPs' deployment into the broker's
+  /// database. Everything between refreshes is invisible; everything
+  /// removed since is stale.
+  void refresh();
+
+  /// Answer a client query: the broker's best-known IPvN router for a
+  /// client attached at `client_access`. The broker only knows public
+  /// domain-level adjacency (not ISP interiors), so "nearby" means the
+  /// fewest domain-level hops, tiebroken by router id. nullopt when the
+  /// broker knows no routers at all.
+  std::optional<net::NodeId> lookup(net::NodeId client_access) const;
+
+  /// Number of routers in the broker's current database.
+  std::size_t known_routers() const { return database_.size(); }
+
+ private:
+  const core::EvolvableInternet& internet_;
+  std::set<net::DomainId> participating_;
+  std::vector<net::NodeId> database_;  // snapshot of deployed routers
+};
+
+/// Send an IPvN datagram using broker-based redirection instead of
+/// anycast: the host queries the broker and tunnels the encapsulated
+/// packet to the returned router's unicast address. Stale or missing
+/// answers fail exactly as they would in deployment.
+core::EndToEndTrace send_ipvn_via_broker(
+    const core::EvolvableInternet& internet, const BrokerService& broker,
+    net::HostId src, net::HostId dst,
+    std::optional<vnbone::EgressMode> mode = std::nullopt);
+
+}  // namespace evo::redirect

@@ -1,0 +1,92 @@
+#include "redirect/provider_select.h"
+
+#include <cassert>
+
+namespace evo::redirect {
+
+using net::DomainId;
+using net::GroupId;
+using net::HostId;
+using net::NodeId;
+
+ProviderSelect::ProviderSelect(core::EvolvableInternet& internet)
+    : internet_(internet) {}
+
+GroupId ProviderSelect::enable_provider(DomainId provider) {
+  assert(!groups_.contains(provider) && "provider already enabled");
+  assert(internet_.vnbone().domain_deployed(provider) &&
+         "provider has no deployed routers to terminate its address");
+  anycast::GroupConfig config;
+  // A provider-rooted address: default routes naturally pull traffic to
+  // the provider itself, and only its routers are members, so packets to
+  // this address always land with the chosen provider.
+  config.mode = anycast::InterDomainMode::kDefaultRoute;
+  config.default_domain = provider;
+  config.ip_version = internet_.vnbone().config().version;
+  const GroupId group = internet_.anycast().create_group(config);
+  groups_.emplace(provider, group);
+  refresh_provider(provider);
+  return group;
+}
+
+void ProviderSelect::refresh_provider(DomainId provider) {
+  const auto it = groups_.find(provider);
+  assert(it != groups_.end() && "provider not enabled");
+  const GroupId group = it->second;
+  // Enroll exactly the provider's currently deployed routers.
+  const auto current = internet_.anycast().group(group).members;
+  for (const NodeId member : current) {
+    if (!internet_.vnbone().deployed(member)) {
+      internet_.anycast().remove_member(group, member);
+    }
+  }
+  for (const NodeId router : internet_.vnbone().deployed_routers_in(provider)) {
+    internet_.anycast().add_member(group, router);
+  }
+}
+
+std::optional<net::Ipv4Addr> ProviderSelect::provider_address(
+    DomainId provider) const {
+  const auto it = groups_.find(provider);
+  if (it == groups_.end()) return std::nullopt;
+  return internet_.anycast().group(it->second).address;
+}
+
+core::EndToEndTrace send_ipvn_via_provider(const core::EvolvableInternet& internet,
+                                           const ProviderSelect& select,
+                                           DomainId provider, HostId src,
+                                           HostId dst,
+                                           std::optional<vnbone::EgressMode> mode) {
+  core::EndToEndTrace result;
+  const auto address = select.provider_address(provider);
+  if (!address) {
+    result.failure = core::EndToEndTrace::Failure::kNoDeployment;
+    return result;
+  }
+  const auto& network = internet.network();
+  const auto& topo = network.topology();
+  const auto& vnbone = internet.vnbone();
+
+  const net::Packet packet = internet.hosts().make_datagram(src, dst);
+  const net::IpvNHeader inner = packet.layers().front().vn;
+  const NodeId src_access = topo.host(src).access_router;
+
+  core::Segment ingress_seg;
+  ingress_seg.kind = core::Segment::Kind::kAnycastIngress;
+  ingress_seg.trace = network.trace(src_access, *address);
+  result.segments.push_back(ingress_seg);
+  const bool landed_with_provider =
+      ingress_seg.trace.delivered() &&
+      topo.router(ingress_seg.trace.delivered_at).domain == provider &&
+      vnbone.deployed(ingress_seg.trace.delivered_at);
+  if (!landed_with_provider) {
+    result.failure = core::EndToEndTrace::Failure::kIngressFailed;
+    return result;
+  }
+  result.ingress = ingress_seg.trace.delivered_at;
+
+  core::complete_from_ingress(internet, inner, dst, mode, result);
+  return result;
+}
+
+}  // namespace evo::redirect

@@ -1,0 +1,59 @@
+// User choice of IPvN provider (§2.1's noted variant):
+//
+// "A further tilt to this balance would be to offer users the choice of
+// which IPvN service provider their IPvN packets are redirected to. We do
+// not explore this option in detail but note that the technical framework
+// we describe ... could, with few modifications, be adapted to such
+// scenarios."
+//
+// The few modifications, made: each participating provider roots a
+// *dedicated* anycast address in its own space and only its routers
+// terminate it. A host that wants provider P encapsulates to P's address
+// instead of the deployment-wide one; everything else (vN-Bone, egress
+// selection) is unchanged. User choice and ISP control coexist: users
+// pick the provider, providers still run the redirection.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+
+namespace evo::redirect {
+
+class ProviderSelect {
+ public:
+  /// `internet` must outlive this object.
+  explicit ProviderSelect(core::EvolvableInternet& internet);
+
+  /// Offer `provider` as a user-selectable IPvN entry point: allocates a
+  /// provider-rooted anycast group and enrolls the provider's currently
+  /// deployed routers. Requires the provider to have deployed routers.
+  /// Returns the group id (also kept internally).
+  net::GroupId enable_provider(net::DomainId provider);
+
+  /// Re-sync the provider's group membership with its current deployment
+  /// (call after deploy/undeploy churn).
+  void refresh_provider(net::DomainId provider);
+
+  /// The provider-specific anycast address a user's stack encapsulates
+  /// to; nullopt if the provider is not enabled.
+  std::optional<net::Ipv4Addr> provider_address(net::DomainId provider) const;
+
+  std::size_t enabled_count() const { return groups_.size(); }
+
+ private:
+  core::EvolvableInternet& internet_;
+  std::map<net::DomainId, net::GroupId> groups_;
+};
+
+/// Send an IPvN datagram entering the vN-Bone through the *chosen*
+/// provider's anycast address. Fails at the ingress leg if the provider
+/// has no reachable member.
+core::EndToEndTrace send_ipvn_via_provider(
+    const core::EvolvableInternet& internet, const ProviderSelect& select,
+    net::DomainId provider, net::HostId src, net::HostId dst,
+    std::optional<vnbone::EgressMode> mode = std::nullopt);
+
+}  // namespace evo::redirect

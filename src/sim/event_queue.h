@@ -1,0 +1,112 @@
+// Cancellable priority queue of timed events.
+//
+// Events at equal times fire in schedule order (FIFO), which keeps protocol
+// simulations deterministic. Cancellation is lazy: a cancelled entry stays
+// in the heap and is skimmed off the top before any query or pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace evo::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation. Copyable; all copies
+/// refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto s = cancelled_.lock()) *s = true;
+  }
+
+  /// True if this handle refers to an event that is still pending.
+  bool pending() const {
+    auto s = cancelled_.lock();
+    return s && !*s;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::weak_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  EventHandle schedule(TimePoint when, EventFn fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(fn), cancelled});
+    return EventHandle{cancelled};
+  }
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const {
+    skim();
+    return heap_.empty();
+  }
+
+  /// Number of live events. O(heap) in the worst case only when many
+  /// cancelled entries pile up at the top; amortized cheap.
+  std::size_t size() const {
+    skim();
+    // Entries below the top may still be cancelled; this is an upper bound
+    // that is exact when cancellation is rare (the common case here).
+    return heap_.size();
+  }
+
+  /// Time of the earliest live event; TimePoint::max() if none.
+  TimePoint next_time() const {
+    skim();
+    return heap_.empty() ? TimePoint::max() : heap_.top().when;
+  }
+
+  /// Remove and return the earliest live event. Requires !empty().
+  struct Popped {
+    TimePoint when;
+    EventFn fn;
+  };
+  Popped pop() {
+    skim();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    *top.cancelled = true;  // fired events are no longer "pending"
+    return Popped{top.when, std::move(top.fn)};
+  }
+
+  void clear() { heap_ = {}; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+
+    // Min-heap: std::priority_queue is a max-heap, so invert.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drop cancelled entries from the top of the heap.
+  void skim() const {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  mutable std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace evo::sim

@@ -1,0 +1,45 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+
+namespace evo::sim {
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof message, fmt, args);
+  va_end(args);
+  if (now_ != nullptr) {
+    std::fprintf(stderr, "[%12.6fs] %s [%.*s] %s\n", now_->count_seconds(),
+                 level_tag(level), static_cast<int>(component.size()),
+                 component.data(), message);
+  } else {
+    std::fprintf(stderr, "%s [%.*s] %s\n", level_tag(level),
+                 static_cast<int>(component.size()), component.data(), message);
+  }
+}
+
+}  // namespace evo::sim

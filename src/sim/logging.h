@@ -1,0 +1,59 @@
+// Minimal leveled logger for simulation diagnostics.
+//
+// Logging is off by default so benchmarks stay quiet; tests and examples
+// flip the level. The logger is intentionally tiny: printf-style sinks to
+// stderr, tagged with the simulated time when a clock is attached.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace evo::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Attach a clock so messages carry simulated timestamps. Pass nullptr
+  /// to detach. The pointer must outlive the attachment.
+  void attach_clock(const TimePoint* now) { now_ = now; }
+
+  bool enabled(LogLevel level) const {
+    return level_ >= level && level != LogLevel::kOff;
+  }
+
+  void log(LogLevel level, std::string_view component, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+  const TimePoint* now_ = nullptr;
+};
+
+// Convenience macros; the argument list is not evaluated when disabled.
+#define EVO_LOG(level, component, ...)                                      \
+  do {                                                                      \
+    if (::evo::sim::Logger::instance().enabled(level))                     \
+      ::evo::sim::Logger::instance().log(level, component, __VA_ARGS__);   \
+  } while (0)
+
+#define EVO_LOG_ERROR(component, ...) \
+  EVO_LOG(::evo::sim::LogLevel::kError, component, __VA_ARGS__)
+#define EVO_LOG_WARN(component, ...) \
+  EVO_LOG(::evo::sim::LogLevel::kWarn, component, __VA_ARGS__)
+#define EVO_LOG_INFO(component, ...) \
+  EVO_LOG(::evo::sim::LogLevel::kInfo, component, __VA_ARGS__)
+#define EVO_LOG_DEBUG(component, ...) \
+  EVO_LOG(::evo::sim::LogLevel::kDebug, component, __VA_ARGS__)
+#define EVO_LOG_TRACE(component, ...) \
+  EVO_LOG(::evo::sim::LogLevel::kTrace, component, __VA_ARGS__)
+
+}  // namespace evo::sim

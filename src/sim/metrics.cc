@@ -1,0 +1,76 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace evo::sim {
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  // Nearest-rank (ceil) definition.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[std::max<std::size_t>(rank, 1) - 1];
+}
+
+std::string Summary::brief() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+                count(), mean(), percentile(50), percentile(95), max());
+  return buf;
+}
+
+std::string MetricRegistry::report() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-48s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, summary] : summaries_) {
+    char line[320];
+    std::snprintf(line, sizeof line, "%-48s %s\n", name.c_str(),
+                  summary.brief().c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace evo::sim

@@ -1,0 +1,30 @@
+#include "sim/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace evo::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; clamp away from 0 so log() is finite.
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: first k positions become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    using std::swap;
+    swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace evo::sim

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** seeded through splitmix64. Every simulation component takes
+// an explicit Rng (or a seed), never a global: reproducibility is a core
+// requirement (see DESIGN.md §6).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace evo::sim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, high quality, and deterministic
+/// across platforms (unlike std::mt19937's distribution wrappers).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEE) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    std::uint64_t x = next_u64();
+    std::uint64_t threshold = (0 - range) % range;
+    while (x < threshold) x = next_u64();
+    return lo + static_cast<std::int64_t>(x % range);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Pick one element uniformly. Requires a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    assert(!items.empty());
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() { return Rng{next_u64()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace evo::sim

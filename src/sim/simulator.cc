@@ -1,0 +1,51 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace evo::sim {
+
+EventHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    fn();
+    ++fired;
+    ++processed_;
+  }
+  if (deadline != TimePoint::max() && now_ < deadline) {
+    // Advance the clock to the requested time even when future events
+    // remain: "run until T" leaves the clock at T, so repeated short
+    // slices always make progress.
+    now_ = deadline;
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && !queue_.empty()) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    fn();
+    ++fired;
+    ++processed_;
+  }
+  return fired;
+}
+
+void Simulator::reset() {
+  now_ = TimePoint::origin();
+  // EventQueue::clear also invalidates outstanding handles lazily.
+  while (!queue_.empty()) queue_.pop();
+  processed_ = 0;
+}
+
+}  // namespace evo::sim

@@ -1,0 +1,58 @@
+// The discrete-event simulation driver.
+//
+// A Simulator owns the virtual clock and the event queue. Protocol modules
+// schedule callbacks ("in 3ms, deliver this LSA to router 7"); run() fires
+// them in time order until quiescence, a time bound, or an event budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace evo::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // The clock is authoritative state shared by every module; copying a
+  // Simulator would silently fork simulated time.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventHandle schedule_after(Duration delay, EventFn fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time (must not be in the past).
+  EventHandle schedule_at(TimePoint when, EventFn fn);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Run until no events remain. Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Run until the clock would pass `deadline` (events at exactly
+  /// `deadline` are processed). Returns events processed by this call.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Run at most `max_events` further events.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  /// Reset clock and queue (keeps processed-event count at zero).
+  void reset();
+
+ private:
+  TimePoint now_ = TimePoint::origin();
+  EventQueue queue_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace evo::sim

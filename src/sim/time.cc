@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace evo::sim {
+
+namespace {
+
+std::string format_micros(std::int64_t us) {
+  char buf[64];
+  if (us % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(us / 1'000'000));
+  } else if (us % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) { return format_micros(d.count_micros()); }
+std::string to_string(TimePoint t) { return format_micros(t.count_micros()); }
+
+}  // namespace evo::sim

@@ -1,0 +1,94 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is a strong integer type counting microseconds of simulated time.
+// Integer time keeps the simulation exactly deterministic: two events
+// scheduled from identical inputs always compare identically, independent
+// of floating-point rounding.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace evo::sim {
+
+/// A span of simulated time, in microseconds. Value type, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration micros(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration millis(std::int64_t n) { return Duration{n * 1000}; }
+  static constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr double count_millis() const { return static_cast<double>(micros_) / 1000.0; }
+  constexpr double count_seconds() const {
+    return static_cast<double>(micros_) / 1'000'000.0;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.micros_ + b.micros_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.micros_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration{a.micros_ / k};
+  }
+
+  Duration& operator+=(Duration other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An instant of simulated time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr double count_seconds() const {
+    return static_cast<double>(micros_) / 1'000'000.0;
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.micros_ + d.count_micros()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Human-readable rendering, e.g. "1.250s" or "340us".
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace evo::sim

@@ -1,0 +1,548 @@
+#include "vnbone/vnbone.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace evo::vnbone {
+
+using net::Cost;
+using net::DomainId;
+using net::Graph;
+using net::GroupId;
+using net::Ipv4Addr;
+using net::IpvNAddr;
+using net::NodeId;
+using net::Prefix;
+
+const char* to_string(EgressMode mode) {
+  switch (mode) {
+    case EgressMode::kExitAtIngress: return "exit-at-ingress";
+    case EgressMode::kOwnPathKnowledge: return "own-path-knowledge";
+    case EgressMode::kProxyAdvertising: return "proxy-advertising";
+    case EgressMode::kEndhostAdvertised: return "endhost-advertised";
+  }
+  return "?";
+}
+
+const char* to_string(VirtualLink::Source source) {
+  switch (source) {
+    case VirtualLink::Source::kIntraK: return "intra-k";
+    case VirtualLink::Source::kPartitionRepair: return "partition-repair";
+    case VirtualLink::Source::kPeeringTunnel: return "peering-tunnel";
+    case VirtualLink::Source::kAnycastBootstrap: return "anycast-bootstrap";
+    case VirtualLink::Source::kManual: return "manual";
+    case VirtualLink::Source::kCongruent: return "congruent";
+  }
+  return "?";
+}
+
+VnBone::VnBone(net::Network& network, bgp::BgpSystem* bgp,
+               std::function<igp::Igp*(net::DomainId)> igp_of,
+               anycast::AnycastService& anycast_service, VnBoneConfig config)
+    : network_(network),
+      bgp_(bgp),
+      igp_of_(std::move(igp_of)),
+      anycast_(anycast_service),
+      config_(config) {}
+
+Ipv4Addr VnBone::anycast_address() const {
+  assert(group_.valid() && "no router deployed yet");
+  return anycast_.group(group_).address;
+}
+
+igp::Igp* VnBone::igp_for_node(NodeId node) const {
+  return igp_of_(network_.topology().router(node).domain);
+}
+
+void VnBone::ensure_group(DomainId first_domain) {
+  if (group_.valid()) return;
+  default_domain_ = first_domain;
+  anycast::GroupConfig gc;
+  gc.mode = config_.anycast_mode;
+  gc.default_domain = first_domain;
+  gc.ip_version = config_.version;
+  group_ = anycast_.create_group(gc);
+}
+
+void VnBone::deploy_router(NodeId router) {
+  if (!deployed_.insert(router).second) return;
+  ensure_group(network_.topology().router(router).domain);
+  anycast_.add_member(group_, router);
+}
+
+void VnBone::undeploy_router(NodeId router) {
+  if (deployed_.erase(router) == 0) return;
+  anycast_.remove_member(group_, router);
+}
+
+void VnBone::deploy_domain(DomainId domain) {
+  for (const NodeId r : network_.topology().domain(domain).routers) {
+    deploy_router(r);
+  }
+}
+
+bool VnBone::domain_deployed(DomainId domain) const {
+  for (const NodeId r : deployed_) {
+    if (network_.topology().router(r).domain == domain) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> VnBone::deployed_routers_in(DomainId domain) const {
+  std::vector<NodeId> out;
+  for (const NodeId r : deployed_) {
+    if (network_.topology().router(r).domain == domain) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<DomainId> VnBone::deployed_domains() const {
+  std::vector<DomainId> out;
+  for (const NodeId r : deployed_) {
+    const DomainId d = network_.topology().router(r).domain;
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void VnBone::add_manual_tunnel(NodeId a, NodeId b) {
+  assert(a != b);
+  manual_tunnels_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void VnBone::remove_manual_tunnel(NodeId a, NodeId b) {
+  manual_tunnels_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void VnBone::rebuild() {
+  links_.clear();
+  partition_repairs_ = 0;
+  bootstrap_tunnels_ = 0;
+  if (deployed_.empty()) return;
+
+  const auto& topo = network_.topology();
+  const auto domains = deployed_domains();
+
+  // Dedup helper: canonical (low, high) pairs already linked.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> have;
+  auto add_link = [&](NodeId a, NodeId b, Cost cost, bool interdomain,
+                      VirtualLink::Source source) {
+    const std::uint32_t lo = std::min(a.value(), b.value());
+    const std::uint32_t hi = std::max(a.value(), b.value());
+    if (!have.insert({lo, hi}).second) return;
+    links_.push_back(VirtualLink{a, b, cost, interdomain, source});
+  };
+
+  // ---- operator-configured (manual) tunnels -----------------------------
+  // Added first: explicit configuration takes precedence over (and is not
+  // absorbed by) the automatic rules.
+  for (const auto& [a, b] : manual_tunnels_) {
+    if (!deployed(a) || !deployed(b)) continue;  // dormant until both deploy
+    const auto paths = net::dijkstra(topo.physical_graph(), a);
+    if (!paths.reachable(b)) continue;
+    const bool interdomain = topo.router(a).domain != topo.router(b).domain;
+    add_link(a, b, paths.distance_to(b), interdomain,
+             VirtualLink::Source::kManual);
+  }
+
+  // ---- congruence evolution: adopt physical links between members ------
+  if (config_.congruent_evolution) {
+    for (const auto& link : topo.links()) {
+      if (link.interdomain || !link.up) continue;
+      if (deployed(link.a) && deployed(link.b)) {
+        add_link(link.a, link.b, link.cost, false,
+                 VirtualLink::Source::kCongruent);
+      }
+    }
+  }
+
+  // ---- intra-domain: k closest neighbors, then partition repair --------
+  for (const DomainId domain : domains) {
+    const auto members = deployed_routers_in(domain);
+    igp::Igp* igp = igp_of_(domain);
+    if (members.size() < 2 || igp == nullptr) continue;
+
+    auto dist = [&](NodeId a, NodeId b) { return igp->distance(a, b); };
+
+    if (config_.respect_discovery_limits && !igp->supports_member_discovery()) {
+      // Footnote-3 fallback: no member enumeration, so no k-closest rule.
+      // Each member (in join order) anycasts to find its nearest existing
+      // member and tunnels to it — a connected tree by construction.
+      // (deployed_routers_in returns NodeId order == join-order model.)
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        NodeId nearest = NodeId::invalid();
+        Cost nearest_d = net::kInfiniteCost;
+        for (std::size_t j = 0; j < i; ++j) {
+          const Cost d = dist(members[i], members[j]);
+          if (d < nearest_d || (d == nearest_d && members[j] < nearest)) {
+            nearest = members[j];
+            nearest_d = d;
+          }
+        }
+        if (nearest.valid() && nearest_d != net::kInfiniteCost) {
+          add_link(members[i], nearest, nearest_d, false,
+                   VirtualLink::Source::kAnycastBootstrap);
+          ++bootstrap_tunnels_;
+        }
+      }
+      continue;
+    }
+
+    for (const NodeId r : members) {
+      // Rank other members by (distance, id); take the k nearest.
+      std::vector<std::pair<Cost, NodeId>> ranked;
+      for (const NodeId m : members) {
+        if (m == r) continue;
+        const Cost d = dist(r, m);
+        if (d == net::kInfiniteCost) continue;
+        ranked.push_back({d, m});
+      }
+      std::sort(ranked.begin(), ranked.end());
+      const std::size_t k = std::min<std::size_t>(config_.k_neighbors, ranked.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        add_link(r, ranked[i].second, ranked[i].first, false,
+                 VirtualLink::Source::kIntraK);
+      }
+    }
+
+    // Partition detection & repair: "such [partitions] can be easily
+    // detected and repaired because every router has complete knowledge of
+    // all other IPvN routers" (§3.3.1). Greedily connect components with
+    // the cheapest available member pair.
+    while (true) {
+      Graph g(topo.router_count());
+      for (const auto& l : links_) {
+        if (!l.interdomain && topo.router(l.a).domain == domain) {
+          g.add_undirected_edge(l.a, l.b, l.underlay_cost);
+        }
+      }
+      // Component labels restricted to this domain's members.
+      const auto comps = net::connected_components(g);
+      std::set<std::uint32_t> labels;
+      for (const NodeId m : members) labels.insert(comps.label[m.value()]);
+      if (labels.size() <= 1) break;
+
+      Cost best_cost = net::kInfiniteCost;
+      NodeId best_a = NodeId::invalid();
+      NodeId best_b = NodeId::invalid();
+      for (const NodeId a : members) {
+        for (const NodeId b : members) {
+          if (comps.label[a.value()] >= comps.label[b.value()]) continue;
+          const Cost d = dist(a, b);
+          if (d < best_cost || (d == best_cost && (a < best_a || (a == best_a && b < best_b)))) {
+            best_cost = d;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (!best_a.valid() || best_cost == net::kInfiniteCost) break;  // physically split
+      add_link(best_a, best_b, best_cost, false,
+               VirtualLink::Source::kPartitionRepair);
+      ++partition_repairs_;
+    }
+  }
+
+  // ---- inter-domain: tunnels along peerings ------------------------------
+  for (const DomainId da : domains) {
+    for (const auto& peering : topo.domain(da).peerings) {
+      const DomainId db = peering.neighbor;
+      if (da >= db) continue;  // each pair once (peerings are symmetric)
+      if (!domain_deployed(db)) continue;
+      const auto& link = topo.link(peering.link);
+      if (!link.up) continue;
+      // Tunnel endpoints: each side's IPvN router closest (by IGP) to its
+      // end of the physical peering link.
+      const NodeId end_a =
+          topo.router(link.a).domain == da ? link.a : link.b;
+      const NodeId end_b = link.other_end(end_a);
+      auto closest_member = [&](DomainId domain, NodeId to) {
+        igp::Igp* igp = igp_of_(domain);
+        NodeId best = NodeId::invalid();
+        Cost best_d = net::kInfiniteCost;
+        for (const NodeId m : deployed_routers_in(domain)) {
+          const Cost d = (m == to) ? 0 : (igp ? igp->distance(m, to) : net::kInfiniteCost);
+          if (d < best_d || (d == best_d && m < best)) {
+            best = m;
+            best_d = d;
+          }
+        }
+        return std::make_pair(best, best_d);
+      };
+      const auto [ra, da_cost] = closest_member(da, end_a);
+      const auto [rb, db_cost] = closest_member(db, end_b);
+      if (!ra.valid() || !rb.valid()) continue;
+      if (da_cost == net::kInfiniteCost || db_cost == net::kInfiniteCost) continue;
+      add_link(ra, rb, da_cost + link.cost + db_cost, true,
+               VirtualLink::Source::kPeeringTunnel);
+    }
+  }
+
+  // ---- anycast bootstrap: connect stranded components to the default ----
+  // "a newly joined ISP could reuse the anycast mechanism as the initial
+  // bootstrap"; "every domain [should] ensure that it is connected ... to
+  // the 'default' provider of the anycast address" (§3.3.1).
+  const net::Graph physical = topo.physical_graph();
+  // Routers proven physically unreachable from every other component stay
+  // stranded; skipping their whole component keeps the loop repairing
+  // everyone else.
+  std::set<NodeId> hopeless;
+  while (true) {
+    Graph g = virtual_graph();
+    const auto comps = net::connected_components(g);
+    // The default component: the one holding the default domain's first
+    // deployed router (default domain always has one: it deployed first).
+    const auto default_members = deployed_routers_in(default_domain_);
+    if (default_members.empty()) break;  // default fully undeployed: no anchor
+    const std::uint32_t anchor = comps.label[default_members.front().value()];
+
+    // Find a stranded deployed router (lowest id for determinism).
+    NodeId stranded = NodeId::invalid();
+    for (const NodeId r : deployed_) {
+      if (comps.label[r.value()] != anchor && !hopeless.contains(r)) {
+        stranded = r;
+        break;
+      }
+    }
+    if (!stranded.valid()) break;
+
+    // Bootstrap: the stranded router reaches the nearest *foreign-
+    // component* IPvN router through the anycast mechanism (modeled as the
+    // closest member by unicast distance — valid because the stranded ISP
+    // is not yet advertising the anycast route itself, per the paper's
+    // footnote).
+    const auto paths = net::dijkstra(physical, stranded);
+    NodeId target = NodeId::invalid();
+    Cost target_d = net::kInfiniteCost;
+    for (const NodeId m : deployed_) {
+      if (comps.label[m.value()] == comps.label[stranded.value()]) continue;
+      const Cost d = paths.distance_to(m);
+      if (d < target_d || (d == target_d && m < target)) {
+        target = m;
+        target_d = d;
+      }
+    }
+    if (!target.valid() || target_d == net::kInfiniteCost) {
+      // Physically cut off; no overlay can help. Mark the whole component
+      // hopeless and keep repairing the rest.
+      for (const NodeId r : deployed_) {
+        if (comps.label[r.value()] == comps.label[stranded.value()]) {
+          hopeless.insert(r);
+        }
+      }
+      continue;
+    }
+    add_link(stranded, target, target_d, true,
+             VirtualLink::Source::kAnycastBootstrap);
+    ++bootstrap_tunnels_;
+  }
+}
+
+void VnBone::register_endhost_route(IpvNAddr self_addr, NodeId advertiser) {
+  assert(self_addr.is_self_address());
+  endhost_routes_[self_addr] = advertiser;
+}
+
+void VnBone::unregister_endhost_route(IpvNAddr self_addr) {
+  endhost_routes_.erase(self_addr);
+}
+
+std::optional<NodeId> VnBone::endhost_route(IpvNAddr self_addr) const {
+  const auto it = endhost_routes_.find(self_addr);
+  if (it == endhost_routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+Graph VnBone::virtual_graph() const {
+  Graph g(network_.topology().router_count());
+  for (const auto& l : links_) {
+    g.add_undirected_edge(l.a, l.b, l.underlay_cost);
+  }
+  return g;
+}
+
+Cost VnBone::legacy_path_length(DomainId domain, DomainId target) const {
+  if (domain == target) return 0;
+  if (bgp_ == nullptr) return net::kInfiniteCost;
+  const Prefix prefix = net::Topology::domain_prefix(target);
+  Cost best = net::kInfiniteCost;
+  for (const NodeId b : bgp_->speakers_of(domain)) {
+    const bgp::Route* route = bgp_->best_route(b, prefix);
+    if (route != nullptr) best = std::min<Cost>(best, route->as_path.size());
+  }
+  return best;
+}
+
+std::vector<DomainId> VnBone::legacy_path(DomainId domain, DomainId target) const {
+  if (domain == target || bgp_ == nullptr) return {};
+  const Prefix prefix = net::Topology::domain_prefix(target);
+  const bgp::Route* best = nullptr;
+  for (const NodeId b : bgp_->speakers_of(domain)) {
+    const bgp::Route* route = bgp_->best_route(b, prefix);
+    if (route != nullptr &&
+        (best == nullptr || route->as_path.size() < best->as_path.size())) {
+      best = route;
+    }
+  }
+  return best == nullptr ? std::vector<DomainId>{} : best->as_path;
+}
+
+VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
+                              std::optional<EgressMode> mode_override) const {
+  VnRoute result;
+  if (!deployed(ingress)) return result;
+  const auto& topo = network_.topology();
+  const EgressMode mode = mode_override.value_or(config_.egress_mode);
+  const Graph vgraph = virtual_graph();
+  const auto paths = net::dijkstra(vgraph, ingress);
+
+  auto finish_at = [&](NodeId egress, bool legacy) {
+    if (egress != ingress && !paths.reachable(egress)) return;
+    result.ok = true;
+    result.egress = egress;
+    result.exits_to_legacy = legacy;
+    if (egress == ingress) {
+      result.vn_hops = {ingress};
+      result.vn_cost = 0;
+    } else {
+      result.vn_hops = paths.path_to(egress);
+      result.vn_cost = paths.distance_to(egress);
+    }
+  };
+
+  if (!dst.is_self_address()) {
+    // Native destination: its home domain "advertises this address into
+    // the IPvN-Bone routing topology". If the access router is itself
+    // IPvN, it is the egress and delivery is fully native; under partial
+    // intra-domain deployment (A1) the egress is the home domain's
+    // IGP-closest IPvN router, and the final stretch rides IPv(N-1).
+    const NodeId home{dst.native_node()};
+    const DomainId home_domain{dst.native_domain()};
+    if (home.value() >= topo.router_count() ||
+        home_domain.value() >= topo.domain_count()) {
+      return result;
+    }
+    if (deployed(home)) {
+      finish_at(home, /*legacy=*/false);
+      return result;
+    }
+    igp::Igp* igp = igp_of_(home_domain);
+    NodeId egress = NodeId::invalid();
+    Cost egress_d = net::kInfiniteCost;
+    for (const NodeId r : deployed_routers_in(home_domain)) {
+      const Cost d = igp ? igp->distance(r, home) : net::kInfiniteCost;
+      if (d < egress_d || (d == egress_d && r < egress)) {
+        egress = r;
+        egress_d = d;
+      }
+    }
+    if (egress.valid() && egress_d != net::kInfiniteCost) {
+      finish_at(egress, /*legacy=*/true);
+    }
+    return result;
+  }
+
+  // Self-addressed destination in a (possibly) legacy domain.
+  const Ipv4Addr legacy_dst = dst.embedded_v4();
+  const auto target_domain = topo.domain_of_address(legacy_dst);
+  if (!target_domain) return result;
+
+  switch (mode) {
+    case EgressMode::kExitAtIngress: {
+      finish_at(ingress, /*legacy=*/true);
+      return result;
+    }
+    case EgressMode::kOwnPathKnowledge: {
+      // Walk my own BGPv(N-1) path to the target; ride the vN-Bone to the
+      // deployed domain furthest along it (Figure 3).
+      const DomainId my_domain = topo.router(ingress).domain;
+      if (*target_domain == my_domain) {
+        finish_at(ingress, /*legacy=*/true);
+        return result;
+      }
+      const auto path = legacy_path(my_domain, *target_domain);
+      DomainId chosen = DomainId::invalid();
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {  // nearest target first
+        if (domain_deployed(*it)) {
+          chosen = *it;
+          break;
+        }
+      }
+      if (!chosen.valid()) {
+        finish_at(ingress, /*legacy=*/true);
+        return result;
+      }
+      // Within the chosen domain, use the vN-closest deployed router.
+      NodeId egress = NodeId::invalid();
+      Cost egress_d = net::kInfiniteCost;
+      for (const NodeId r : deployed_routers_in(chosen)) {
+        const Cost d = (r == ingress) ? 0 : paths.distance_to(r);
+        if (d < egress_d || (d == egress_d && r < egress)) {
+          egress = r;
+          egress_d = d;
+        }
+      }
+      if (!egress.valid() || egress_d == net::kInfiniteCost) {
+        finish_at(ingress, /*legacy=*/true);
+      } else {
+        finish_at(egress, /*legacy=*/true);
+      }
+      return result;
+    }
+    case EgressMode::kEndhostAdvertised: {
+      // The destination must have registered; the route is only as alive
+      // as its advertising router (fate-sharing).
+      const auto advertiser = endhost_route(dst);
+      if (!advertiser || !deployed(*advertiser)) return result;  // no route
+      finish_at(*advertiser, /*legacy=*/true);
+      return result;
+    }
+    case EgressMode::kProxyAdvertising: {
+      // Every deployed domain advertises its BGPv(N-1) distance to the
+      // target into BGPvN (Figure 4); pick the globally cheapest
+      // (vN underlay + weighted AS hops) egress.
+      NodeId egress = NodeId::invalid();
+      Cost best_score = net::kInfiniteCost;
+      for (const DomainId d : deployed_domains()) {
+        const Cost legacy_len = legacy_path_length(d, *target_domain);
+        if (legacy_len == net::kInfiniteCost) continue;
+        for (const NodeId r : deployed_routers_in(d)) {
+          const Cost vn_d = (r == ingress) ? 0 : paths.distance_to(r);
+          if (vn_d == net::kInfiniteCost) continue;
+          const Cost score = vn_d + config_.as_hop_weight * legacy_len;
+          if (score < best_score || (score == best_score && r < egress)) {
+            egress = r;
+            best_score = score;
+          }
+        }
+      }
+      if (!egress.valid()) {
+        finish_at(ingress, /*legacy=*/true);
+      } else {
+        finish_at(egress, /*legacy=*/true);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+std::size_t VnBone::vn_rib_size(NodeId router) const {
+  if (!deployed(router)) return 0;
+  const auto domains = deployed_domains();
+  std::size_t size = domains.size();  // native vN prefixes
+  if (config_.egress_mode == EgressMode::kProxyAdvertising && bgp_ != nullptr) {
+    // One proxy entry per (deployed domain, reachable legacy domain).
+    for (const DomainId d : domains) {
+      for (const auto& target : network_.topology().domains()) {
+        if (domain_deployed(target.id)) continue;
+        if (legacy_path_length(d, target.id) != net::kInfiniteCost) ++size;
+      }
+    }
+  }
+  return size;
+}
+
+}  // namespace evo::vnbone

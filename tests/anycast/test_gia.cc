@@ -1,0 +1,151 @@
+// GIA mode (§3.2's scalable-anycast design point): member routes visible
+// within a bounded AS radius, home-domain default routes beyond it.
+#include <gtest/gtest.h>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "net/topology_gen.h"
+
+namespace evo::anycast {
+namespace {
+
+using net::DomainId;
+using net::NodeId;
+using net::Prefix;
+
+/// A chain of five domains: d0 - d1 - d2 - d3 - d4 (providers to the
+/// right), one router each.
+std::unique_ptr<core::EvolvableInternet> chain5() {
+  net::Topology topo;
+  std::vector<NodeId> routers;
+  for (int i = 0; i < 5; ++i) {
+    const auto d = topo.add_domain("d" + std::to_string(i));
+    routers.push_back(topo.add_router(d));
+  }
+  for (int i = 0; i < 4; ++i) {
+    topo.add_interdomain_link(routers[i], routers[i + 1],
+                              net::Relationship::kProvider);
+  }
+  auto net = std::make_unique<core::EvolvableInternet>(std::move(topo));
+  net->start();
+  return net;
+}
+
+TEST(Gia, AddressRootedInHomeDomain) {
+  auto net = chain5();
+  GroupConfig config;
+  config.mode = InterDomainMode::kGia;
+  config.default_domain = DomainId{0};
+  const auto g = net->anycast().create_group(config);
+  EXPECT_TRUE(net->topology().domain(DomainId{0}).prefix.contains(
+      net->anycast().group(g).address));
+}
+
+TEST(Gia, MemberRouteVisibleWithinRadiusOnly) {
+  auto net = chain5();
+  GroupConfig config;
+  config.mode = InterDomainMode::kGia;
+  config.default_domain = DomainId{0};
+  config.gia_search_radius = 2;
+  const auto g = net->anycast().create_group(config);
+  // Home member at d0, plus a member at d4 (far end).
+  net->anycast().add_member(g, net->topology().domain(DomainId{0}).routers[0]);
+  net->anycast().add_member(g, net->topology().domain(DomainId{4}).routers[0]);
+  net->converge();
+  const Prefix host_route = Prefix::host(net->anycast().group(g).address);
+  // d3 is 1 hop from d4: sees the member route.
+  const NodeId r3 = net->topology().domain(DomainId{3}).routers[0];
+  const auto* at_r3 = net->bgp().best_route(r3, host_route);
+  ASSERT_NE(at_r3, nullptr);
+  EXPECT_EQ(at_r3->origin_domain(), DomainId{4});
+  // d2 is 2 hops: still inside the radius.
+  const NodeId r2 = net->topology().domain(DomainId{2}).routers[0];
+  const auto* at_r2 = net->bgp().best_route(r2, host_route);
+  ASSERT_NE(at_r2, nullptr);
+  // d1 is 3 hops from d4 and 1 from d0: the only member-specific offer it
+  // can see is d0's (d4's stopped at the radius).
+  const NodeId r1 = net->topology().domain(DomainId{1}).routers[0];
+  const auto* at_r1 = net->bgp().best_route(r1, host_route);
+  ASSERT_NE(at_r1, nullptr);
+  EXPECT_EQ(at_r1->origin_domain(), DomainId{0});
+}
+
+TEST(Gia, BeyondRadiusFallsBackToHomeDomain) {
+  auto net = chain5();
+  GroupConfig config;
+  config.mode = InterDomainMode::kGia;
+  config.default_domain = DomainId{0};
+  config.gia_search_radius = 1;  // members visible to direct neighbors only
+  const auto g = net->anycast().create_group(config);
+  net->anycast().add_member(g, net->topology().domain(DomainId{0}).routers[0]);
+  net->anycast().add_member(g, net->topology().domain(DomainId{3}).routers[0]);
+  net->converge();
+  // A probe from d1 (2 hops from the d3 member, beyond radius 1): follows
+  // the home aggregate and lands at d0 — "the packet will reach a group
+  // member although not necessarily the closest."
+  const auto probe1 = probe(net->network(), net->anycast().group(g),
+                            net->topology().domain(DomainId{1}).routers[0]);
+  ASSERT_TRUE(probe1.delivered());
+  EXPECT_EQ(net->topology().router(probe1.member).domain, DomainId{0});
+  // A probe from d2 (direct neighbor of d3): the search finds d3's member.
+  const auto probe2 = probe(net->network(), net->anycast().group(g),
+                            net->topology().domain(DomainId{2}).routers[0]);
+  ASSERT_TRUE(probe2.delivered());
+  EXPECT_EQ(net->topology().router(probe2.member).domain, DomainId{3});
+}
+
+TEST(Gia, RadiusControlsStateFootprint) {
+  // Larger radius => more routers carry the member's /32.
+  for (const std::uint8_t radius : {1, 3}) {
+    auto net = chain5();
+    GroupConfig config;
+    config.mode = InterDomainMode::kGia;
+    config.default_domain = DomainId{0};
+    config.gia_search_radius = radius;
+    const auto g = net->anycast().create_group(config);
+    net->anycast().add_member(g, net->topology().domain(DomainId{0}).routers[0]);
+    net->anycast().add_member(g, net->topology().domain(DomainId{4}).routers[0]);
+    net->converge();
+    const Prefix host_route = Prefix::host(net->anycast().group(g).address);
+    std::size_t carriers = 0;
+    for (const auto& router : net->topology().routers()) {
+      if (net->bgp().best_route(router.id, host_route) != nullptr) ++carriers;
+    }
+    // Origin domains always carry their own /32 (self routes), so
+    // radius 1 gives the two origins + their direct neighbors.
+    if (radius == 1) {
+      EXPECT_LE(carriers, 4u);
+    } else {
+      EXPECT_EQ(carriers, 5u);  // radius 3 blankets the whole chain
+    }
+  }
+}
+
+TEST(Gia, HomeMemberGuaranteesDelivery) {
+  // "GIA requires that the home domain include at least one member":
+  // with one, every probe delivers; without one, distant probes die in
+  // the empty home domain.
+  auto net = chain5();
+  GroupConfig config;
+  config.mode = InterDomainMode::kGia;
+  config.default_domain = DomainId{0};
+  config.gia_search_radius = 1;
+  const auto g = net->anycast().create_group(config);
+  net->anycast().add_member(g, net->topology().domain(DomainId{3}).routers[0]);
+  net->converge();
+  // No home member: d1's probe (beyond the radius) fails.
+  const auto orphan = probe(net->network(), net->anycast().group(g),
+                            net->topology().domain(DomainId{1}).routers[0]);
+  EXPECT_FALSE(orphan.delivered());
+  // Add the home member: everyone delivers.
+  net->anycast().add_member(g, net->topology().domain(DomainId{0}).routers[0]);
+  net->converge();
+  for (const auto& router : net->topology().routers()) {
+    EXPECT_TRUE(
+        probe(net->network(), net->anycast().group(g), router.id).delivered())
+        << "from router " << router.id.value();
+  }
+}
+
+}  // namespace
+}  // namespace evo::anycast

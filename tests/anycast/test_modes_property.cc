@@ -1,0 +1,128 @@
+// Cross-mode property suite: invariants that must hold for EVERY
+// inter-domain anycast mode on every topology seed —
+//   * correctness: every router's probe delivers to *some* member
+//     whenever a member exists and the default/home domain has one;
+//   * member-only delivery: packets never terminate at a non-member;
+//   * monotone coverage: adding a member never breaks delivery.
+#include <gtest/gtest.h>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "net/topology_gen.h"
+
+namespace evo::anycast {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+using net::GroupId;
+using net::NodeId;
+
+struct Param {
+  InterDomainMode mode;
+  std::uint64_t seed;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  std::string name = to_string(info.param.mode);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+class AnycastModeTest : public testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    auto topo = net::generate_transit_stub({.transit_domains = 3,
+                                            .stubs_per_transit = 2,
+                                            .seed = GetParam().seed});
+    internet_ = std::make_unique<EvolvableInternet>(std::move(topo));
+    internet_->start();
+    GroupConfig config;
+    config.mode = GetParam().mode;
+    config.default_domain = DomainId{0};
+    config.gia_search_radius = 2;
+    group_ = internet_->anycast().create_group(config);
+    // Home/default member first (required by GIA, sensible everywhere).
+    add_member(internet_->topology().domain(DomainId{0}).routers.front());
+  }
+
+  void add_member(NodeId router) {
+    internet_->anycast().add_member(group_, router);
+    internet_->converge();
+  }
+
+  const Group& group() const { return internet_->anycast().group(group_); }
+
+  void expect_full_correct_delivery(const char* when) {
+    for (const auto& router : internet_->topology().routers()) {
+      const auto result = probe(internet_->network(), group(), router.id);
+      ASSERT_TRUE(result.delivered())
+          << when << ": undelivered from router " << router.id.value();
+      // Delivered at an actual member, never elsewhere.
+      EXPECT_TRUE(group().members.contains(result.member))
+          << when << ": non-member delivery at " << result.member.value();
+    }
+  }
+
+  std::unique_ptr<EvolvableInternet> internet_;
+  GroupId group_;
+};
+
+TEST_P(AnycastModeTest, SingleMemberUniversalDelivery) {
+  expect_full_correct_delivery("single member");
+}
+
+TEST_P(AnycastModeTest, CoverageSurvivesMemberAdditions) {
+  sim::Rng rng{GetParam().seed ^ 0xFEED};
+  const auto& routers = internet_->topology().routers();
+  for (int additions = 0; additions < 4; ++additions) {
+    const NodeId candidate{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(routers.size()) - 1))};
+    if (group().members.contains(candidate)) continue;
+    add_member(candidate);
+    expect_full_correct_delivery("after addition");
+  }
+}
+
+TEST_P(AnycastModeTest, RemovalToSoleHomeMemberStillDelivers) {
+  // Add two extra members, then remove them; the surviving home/default
+  // member keeps universal delivery in every mode.
+  const auto& topo = internet_->topology();
+  const NodeId extra1 = topo.domain(DomainId{1}).routers.front();
+  const NodeId extra2 = topo.domain(DomainId{2}).routers.front();
+  add_member(extra1);
+  add_member(extra2);
+  expect_full_correct_delivery("three members");
+  internet_->anycast().remove_member(group_, extra1);
+  internet_->converge();
+  internet_->anycast().remove_member(group_, extra2);
+  internet_->converge();
+  expect_full_correct_delivery("back to sole home member");
+}
+
+TEST_P(AnycastModeTest, DeliveryCostNeverBelowOracle) {
+  const auto& topo = internet_->topology();
+  add_member(topo.domain(DomainId{2}).routers.front());
+  const ClosestMemberOracle oracle(topo, group());
+  for (const auto& router : topo.routers()) {
+    const auto result = probe(internet_->network(), group(), router.id, oracle);
+    ASSERT_TRUE(result.delivered());
+    // No mode can beat the physical closest-member distance.
+    EXPECT_GE(result.trace.cost, oracle.distance_from(router.id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, AnycastModeTest,
+    testing::Values(Param{InterDomainMode::kGlobalRoutes, 301},
+                    Param{InterDomainMode::kGlobalRoutes, 302},
+                    Param{InterDomainMode::kDefaultRoute, 301},
+                    Param{InterDomainMode::kDefaultRoute, 302},
+                    Param{InterDomainMode::kGia, 301},
+                    Param{InterDomainMode::kGia, 302}),
+    param_name);
+
+}  // namespace
+}  // namespace evo::anycast

@@ -1,0 +1,117 @@
+// Traffic accounting for the A4 incentive argument.
+#include "core/economics.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_gen.h"
+
+namespace evo::core {
+namespace {
+
+using net::DomainId;
+using net::HostId;
+
+struct Fixture {
+  Fixture() {
+    auto topo = net::generate_transit_stub({.transit_domains = 2,
+                                            .stubs_per_transit = 2,
+                                            .multihoming_probability = 0.0,
+                                            .seed = 101});
+    sim::Rng rng{101};
+    net::attach_hosts(topo, 1, rng);
+    internet = std::make_unique<EvolvableInternet>(std::move(topo));
+    internet->start();
+  }
+
+  std::unique_ptr<EvolvableInternet> internet;
+};
+
+TEST(Economics, FlowConservation) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet);
+  EXPECT_EQ(account.flows_attempted, 12u);  // 4 hosts, ordered pairs
+  EXPECT_EQ(account.flows_delivered, 12u);
+  std::uint64_t originated = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t ingress = 0;
+  std::uint64_t egress = 0;
+  for (const auto& t : account.per_domain) {
+    originated += t.originated;
+    terminated += t.terminated;
+    ingress += t.vn_ingress;
+    egress += t.vn_egress;
+  }
+  EXPECT_EQ(originated, account.flows_delivered);
+  EXPECT_EQ(terminated, account.flows_delivered);
+  EXPECT_EQ(ingress, account.flows_delivered);
+  EXPECT_EQ(egress, account.flows_delivered);
+}
+
+TEST(Economics, SoleDeployerCapturesAllIngress) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet);
+  EXPECT_EQ(account.domain(DomainId{0}).vn_ingress, account.flows_delivered);
+  EXPECT_EQ(account.domain(DomainId{1}).vn_ingress, 0u);
+}
+
+TEST(Economics, DeploymentAttractsIngress) {
+  // A4: once domain 1 deploys, it captures ingress for its own catchment.
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->deploy_domain(DomainId{1});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet);
+  EXPECT_GT(account.domain(DomainId{1}).vn_ingress, 0u);
+  EXPECT_LT(account.domain(DomainId{0}).vn_ingress, account.flows_delivered);
+}
+
+TEST(Economics, TransitHopsExcludeEndpoints) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet);
+  // Stub domains host all endpoints; their transit-hop counts must only
+  // reflect flows between *other* stubs — for a stub that's zero (no one
+  // transits a stub).
+  for (const auto& d : f.internet->topology().domains()) {
+    if (d.stub) {
+      EXPECT_EQ(account.domain(d.id).transit_hops, 0u) << d.name;
+    }
+  }
+  // The transit domains carry everything.
+  EXPECT_GT(account.domain(DomainId{0}).transit_hops +
+                account.domain(DomainId{1}).transit_hops,
+            0u);
+}
+
+TEST(Economics, SampledWorkloadBounded) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet, /*max_pairs=*/5);
+  EXPECT_EQ(account.flows_attempted, 5u);
+}
+
+TEST(Economics, ReportListsActiveDomains) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto account = account_ipvn_traffic(*f.internet);
+  const auto report = account.report(f.internet->topology());
+  EXPECT_NE(report.find("transit-0"), std::string::npos);
+  EXPECT_NE(report.find("vn-in"), std::string::npos);
+}
+
+TEST(Economics, NoDeploymentNoDelivery) {
+  Fixture f;
+  const auto account = account_ipvn_traffic(*f.internet);
+  EXPECT_EQ(account.flows_delivered, 0u);
+  EXPECT_GT(account.flows_attempted, 0u);
+}
+
+}  // namespace
+}  // namespace evo::core

@@ -1,0 +1,162 @@
+// The paper's four figures, verified end to end. Each test replays the
+// figure's exact scenario and asserts the behavior the figure depicts.
+#include <gtest/gtest.h>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "core/scenario.h"
+#include "core/trace.h"
+
+namespace evo::core {
+namespace {
+
+using net::DomainId;
+using net::NodeId;
+
+/// Domain serving an anycast probe from `source`.
+DomainId serving_domain(const EvolvableInternet& net, NodeId source) {
+  const auto group = net.vnbone().anycast_group();
+  const auto probe =
+      anycast::probe(net.network(), net.anycast().group(group), source);
+  if (!probe.delivered()) return DomainId::invalid();
+  return net.topology().router(probe.member).domain;
+}
+
+TEST(Figure1, SeamlessSpreadOfDeployment) {
+  // "IPv8 is deployed successively in ISPs X, then Y and finally Z.
+  // Throughout, client C is seamlessly redirected to the closest IPv8
+  // provider." Option-1 anycast (global routes) models the figure's
+  // assumed global anycast service.
+  auto fig = make_figure1();
+  Options options;
+  options.vnbone.anycast_mode = anycast::InterDomainMode::kGlobalRoutes;
+  EvolvableInternet net(std::move(fig.topology), options);
+  net.start();
+  const NodeId client_access = net.topology().host(fig.client).access_router;
+
+  net.deploy_domain(fig.x);
+  net.converge();
+  EXPECT_EQ(serving_domain(net, client_access), fig.x);
+
+  net.deploy_domain(fig.y);
+  net.converge();
+  EXPECT_EQ(serving_domain(net, client_access), fig.y);
+
+  net.deploy_domain(fig.z);
+  net.converge();
+  EXPECT_EQ(serving_domain(net, client_access), fig.z);
+}
+
+TEST(Figure1, ClientNeedsNoReconfiguration) {
+  // The client-visible configuration (the anycast address it encapsulates
+  // to) must never change across deployment stages.
+  auto fig = make_figure1();
+  Options options;
+  options.vnbone.anycast_mode = anycast::InterDomainMode::kGlobalRoutes;
+  EvolvableInternet net(std::move(fig.topology), options);
+  net.start();
+  net.deploy_domain(fig.x);
+  net.converge();
+  const auto address_stage1 = net.vnbone().anycast_address();
+  net.deploy_domain(fig.y);
+  net.converge();
+  const auto address_stage2 = net.vnbone().anycast_address();
+  net.deploy_domain(fig.z);
+  net.converge();
+  const auto address_stage3 = net.vnbone().anycast_address();
+  EXPECT_EQ(address_stage1, address_stage2);
+  EXPECT_EQ(address_stage2, address_stage3);
+}
+
+TEST(Figure2, DefaultRoutesAndOptionalPeering) {
+  // D is the default domain; Q also deploys. "Anycast packets from
+  // domains X and Y terminate in domain D while those from Z reach Q."
+  auto fig = make_figure2();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.d);  // first deployer => default, owns the address
+  net.deploy_domain(fig.q);
+  net.converge();
+  ASSERT_EQ(net.vnbone().default_domain(), fig.d);
+
+  const auto& topo = net.topology();
+  EXPECT_EQ(serving_domain(net, topo.host(fig.host_x).access_router), fig.d);
+  EXPECT_EQ(serving_domain(net, topo.host(fig.host_y).access_router), fig.d);
+  EXPECT_EQ(serving_domain(net, topo.host(fig.host_z).access_router), fig.q);
+
+  // "Q can peer with Y to advertise its path for the anycast address in
+  // question; Y's packets will then be delivered to Q rather than D."
+  net.anycast().advertise_via_peering(net.vnbone().anycast_group(), fig.q, fig.y);
+  net.converge();
+  EXPECT_EQ(serving_domain(net, topo.host(fig.host_y).access_router), fig.q);
+  // X's flow is unaffected.
+  EXPECT_EQ(serving_domain(net, topo.host(fig.host_x).access_router), fig.d);
+}
+
+TEST(Figure3, BgpImportShortensLegacyTail) {
+  // "Path to C w/ only BGPvN: last IPvN hop is X. Path with
+  // BGPv(N-1)+BGPvN: last IPvN hop is Y."
+  auto fig = make_figure3();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.m);
+  net.deploy_domain(fig.o);
+  net.converge();
+
+  const auto naive = send_ipvn(net, fig.a, fig.c, vnbone::EgressMode::kExitAtIngress);
+  ASSERT_TRUE(naive.delivered);
+  // Without BGPv(N-1) the packet exits in M (at the ingress).
+  EXPECT_EQ(net.topology().router(naive.egress).domain, fig.m);
+
+  const auto informed =
+      send_ipvn(net, fig.a, fig.c, vnbone::EgressMode::kOwnPathKnowledge);
+  ASSERT_TRUE(informed.delivered);
+  // With it, the last IPvN hop is in O — and the legacy tail shrinks.
+  EXPECT_EQ(net.topology().router(informed.egress).domain, fig.o);
+  EXPECT_LT(informed.legacy_tail_cost(), naive.legacy_tail_cost());
+}
+
+TEST(Figure4, AdvertisingByProxyImprovesPath) {
+  // "B and C advertise their distance to Z into the BGPvN routing
+  // protocol" — A's traffic to legacy Z rides the cheap deployed chain to
+  // C instead of exiting onto the expensive legacy chain.
+  auto fig = make_figure4();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.a);
+  net.deploy_domain(fig.b);
+  net.deploy_domain(fig.c);
+  net.converge();
+
+  const auto without =
+      send_ipvn(net, fig.src, fig.dst, vnbone::EgressMode::kOwnPathKnowledge);
+  ASSERT_TRUE(without.delivered);
+  EXPECT_EQ(net.topology().router(without.egress).domain, fig.a);
+
+  const auto with =
+      send_ipvn(net, fig.src, fig.dst, vnbone::EgressMode::kProxyAdvertising);
+  ASSERT_TRUE(with.delivered);
+  EXPECT_EQ(net.topology().router(with.egress).domain, fig.c);
+  // The proxy-advertised path is strictly cheaper end to end.
+  EXPECT_LT(with.total_cost(), without.total_cost());
+}
+
+TEST(Figure4, ProxyPathRidesTheVnBone) {
+  auto fig = make_figure4();
+  EvolvableInternet net(std::move(fig.topology));
+  net.start();
+  net.deploy_domain(fig.a);
+  net.deploy_domain(fig.b);
+  net.deploy_domain(fig.c);
+  net.converge();
+  const auto trace =
+      send_ipvn(net, fig.src, fig.dst, vnbone::EgressMode::kProxyAdvertising);
+  ASSERT_TRUE(trace.delivered);
+  // A -> B -> C over the bone: at least 2 virtual hops.
+  EXPECT_GE(trace.vn_route.vn_hop_count(), 2u);
+  // And the only legacy stretch is the C-Z customer link tail.
+  EXPECT_LE(trace.legacy_tail_cost(), 3u);
+}
+
+}  // namespace
+}  // namespace evo::core

@@ -1,0 +1,98 @@
+// Structural checks on the figure scenario factories — the topologies
+// must match the figures' wiring, or every figure test upstream is
+// testing the wrong picture.
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::core {
+namespace {
+
+using net::DomainId;
+using net::Relationship;
+
+TEST(Scenario, Figure1Wiring) {
+  const auto fig = make_figure1();
+  EXPECT_EQ(fig.topology.domain_count(), 4u);
+  // X, Y, Z are customers of transit W.
+  for (const DomainId leaf : {fig.x, fig.y, fig.z}) {
+    EXPECT_EQ(fig.topology.relationship(fig.w, leaf), Relationship::kCustomer);
+    EXPECT_EQ(fig.topology.relationship(leaf, fig.w), Relationship::kProvider);
+  }
+  // Z hosts client C.
+  EXPECT_EQ(fig.topology.router(fig.topology.host(fig.client).access_router).domain,
+            fig.z);
+  // Z must be strictly closer to Y than to X (the figure's geometry).
+  const auto graph = fig.topology.physical_graph();
+  const auto from_z = net::dijkstra(graph, fig.topology.domain(fig.z).routers[0]);
+  const auto dist = [&](DomainId d) {
+    net::Cost best = net::kInfiniteCost;
+    for (const auto r : fig.topology.domain(d).routers) {
+      best = std::min(best, from_z.distance_to(r));
+    }
+    return best;
+  };
+  EXPECT_LT(dist(fig.y), dist(fig.x));
+}
+
+TEST(Scenario, Figure2Wiring) {
+  const auto fig = make_figure2();
+  EXPECT_EQ(fig.topology.domain_count(), 6u);
+  // The figure's peerings: D-P peer, X/Y customers of D, Q customer of P,
+  // Z customer of Q, Q-Y peer.
+  EXPECT_EQ(fig.topology.relationship(fig.d, fig.p), Relationship::kPeer);
+  EXPECT_EQ(fig.topology.relationship(fig.d, fig.x), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.d, fig.y), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.p, fig.q), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.q, fig.z), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.q, fig.y), Relationship::kPeer);
+  // Q and D are NOT adjacent (Z's packets must transit Q on the way to D).
+  EXPECT_FALSE(fig.topology.relationship(fig.q, fig.d).has_value());
+}
+
+TEST(Scenario, Figure3Wiring) {
+  const auto fig = make_figure3();
+  // O provides both M and C's domain; M and C's domain are not adjacent.
+  EXPECT_EQ(fig.topology.relationship(fig.o, fig.m), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.o, fig.c_domain), Relationship::kCustomer);
+  EXPECT_FALSE(fig.topology.relationship(fig.m, fig.c_domain).has_value());
+  // The named routers are where the figure puts them.
+  EXPECT_EQ(fig.topology.router(fig.x).domain, fig.m);
+  EXPECT_EQ(fig.topology.router(fig.z).domain, fig.o);
+  EXPECT_EQ(fig.topology.router(fig.y).domain, fig.o);
+  EXPECT_EQ(fig.topology.router(fig.topology.host(fig.a).access_router).domain,
+            fig.m);
+  EXPECT_EQ(fig.topology.router(fig.topology.host(fig.c).access_router).domain,
+            fig.c_domain);
+}
+
+TEST(Scenario, Figure4Wiring) {
+  const auto fig = make_figure4();
+  // Deployed chain A-B-C is peers; legacy chain A-M-N-Z mixes peer +
+  // customer links; Z is multihomed to N and C.
+  EXPECT_EQ(fig.topology.relationship(fig.a, fig.b), Relationship::kPeer);
+  EXPECT_EQ(fig.topology.relationship(fig.b, fig.c), Relationship::kPeer);
+  EXPECT_EQ(fig.topology.relationship(fig.a, fig.m), Relationship::kPeer);
+  EXPECT_EQ(fig.topology.relationship(fig.m, fig.n), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.n, fig.z), Relationship::kCustomer);
+  EXPECT_EQ(fig.topology.relationship(fig.c, fig.z), Relationship::kCustomer);
+  // The legacy chain is decisively more expensive than the deployed one.
+  const auto graph = fig.topology.physical_graph();
+  const auto from_a = net::dijkstra(graph, fig.topology.domain(fig.a).routers[0]);
+  const auto z_router = fig.topology.domain(fig.z).routers[0];
+  EXPECT_LT(from_a.distance_to(z_router), 20u);  // the cheap A-B-C-Z route exists
+}
+
+TEST(Scenario, AllFiguresConnected) {
+  EXPECT_EQ(net::connected_components(make_figure1().topology.physical_graph()).count,
+            1u);
+  EXPECT_EQ(net::connected_components(make_figure2().topology.physical_graph()).count,
+            1u);
+  EXPECT_EQ(net::connected_components(make_figure3().topology.physical_graph()).count,
+            1u);
+  EXPECT_EQ(net::connected_components(make_figure4().topology.physical_graph()).count,
+            1u);
+}
+
+}  // namespace
+}  // namespace evo::core

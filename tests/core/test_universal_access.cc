@@ -1,0 +1,125 @@
+// Universal Access (§2.1): every client can use IPvN from the moment a
+// single ISP deploys it, regardless of what its own ISP does.
+#include "core/universal_access.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "net/topology_gen.h"
+
+namespace evo::core {
+namespace {
+
+using net::DomainId;
+
+std::unique_ptr<EvolvableInternet> transit_stub_internet(std::uint64_t seed,
+                                                         Options options = {}) {
+  auto topo = net::generate_transit_stub({.transit_domains = 2,
+                                          .stubs_per_transit = 3,
+                                          .seed = seed});
+  sim::Rng rng{seed};
+  net::attach_hosts(topo, 2, rng);
+  auto net = std::make_unique<EvolvableInternet>(std::move(topo), options);
+  net->start();
+  return net;
+}
+
+TEST(UniversalAccess, HoldsWithSingleDeployingDomain) {
+  auto net = transit_stub_internet(21);
+  // Exactly one (stub!) domain deploys; every host pair must still work.
+  DomainId deployer = DomainId::invalid();
+  for (const auto& d : net->topology().domains()) {
+    if (d.stub) {
+      deployer = d.id;
+      break;
+    }
+  }
+  net->deploy_domain(deployer);
+  net->converge();
+  const auto report = verify_universal_access(*net);
+  EXPECT_TRUE(report.universal())
+      << report.failures.size() << " failures of " << report.pairs_checked;
+  EXPECT_GT(report.mean_cost, 0.0);
+  EXPECT_GE(report.mean_stretch, 1.0);
+}
+
+TEST(UniversalAccess, HoldsWithSingleDeployedRouter) {
+  // Even one router in one domain suffices (extreme partial deployment).
+  auto net = transit_stub_internet(22);
+  net->deploy_router(net->topology().domains()[0].routers.front());
+  net->converge();
+  const auto report = verify_universal_access(*net);
+  EXPECT_TRUE(report.universal())
+      << report.failures.size() << " failures of " << report.pairs_checked;
+}
+
+TEST(UniversalAccess, HoldsAtEveryDeploymentStage) {
+  auto net = transit_stub_internet(23);
+  const auto& domains = net->topology().domains();
+  for (const auto& domain : domains) {
+    net->deploy_domain(domain.id);
+    net->converge();
+    const auto report = verify_universal_access(*net, /*max_pairs=*/60);
+    EXPECT_TRUE(report.universal())
+        << "after deploying " << domain.name << ": " << report.failures.size()
+        << " failures";
+  }
+}
+
+TEST(UniversalAccess, StretchShrinksAsDeploymentSpreads) {
+  auto net = transit_stub_internet(24);
+  const auto& domains = net->topology().domains();
+  net->deploy_domain(domains[0].id);
+  net->converge();
+  const auto early = verify_universal_access(*net);
+  for (const auto& domain : domains) net->deploy_domain(domain.id);
+  net->converge();
+  const auto full = verify_universal_access(*net);
+  ASSERT_TRUE(early.universal());
+  ASSERT_TRUE(full.universal());
+  // With universal deployment, detours through remote IPvN routers vanish.
+  EXPECT_LT(full.mean_stretch, early.mean_stretch);
+}
+
+TEST(UniversalAccess, NoPairsWithoutHosts) {
+  EvolvableInternet net(net::single_domain_line(3));
+  net.start();
+  const auto report = verify_universal_access(net);
+  EXPECT_EQ(report.pairs_checked, 0u);
+  EXPECT_FALSE(report.universal());
+}
+
+TEST(UniversalAccess, SamplingBoundsPairCount) {
+  auto net = transit_stub_internet(25);
+  net->deploy_domain(net->topology().domains()[0].id);
+  net->converge();
+  const auto report = verify_universal_access(*net, /*max_pairs=*/10);
+  EXPECT_EQ(report.pairs_checked, 10u);
+}
+
+TEST(UniversalAccess, SamplingDeterministicForSeed) {
+  auto net = transit_stub_internet(26);
+  net->deploy_domain(net->topology().domains()[0].id);
+  net->converge();
+  const auto a = verify_universal_access(*net, 20, /*seed=*/5);
+  const auto b = verify_universal_access(*net, 20, /*seed=*/5);
+  EXPECT_EQ(a.pairs_delivered, b.pairs_delivered);
+  EXPECT_DOUBLE_EQ(a.mean_cost, b.mean_cost);
+}
+
+TEST(UniversalAccess, FailureListedWhenIngressImpossible) {
+  // Degenerate: no deployment at all => every pair fails with
+  // kNoDeployment and the report says so.
+  net::Topology topo = net::single_domain_line(3);
+  topo.add_host(topo.domain(DomainId{0}).routers[0]);
+  topo.add_host(topo.domain(DomainId{0}).routers[2]);
+  EvolvableInternet net(std::move(topo));
+  net.start();
+  const auto report = verify_universal_access(net);
+  EXPECT_FALSE(report.universal());
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].failure, EndToEndTrace::Failure::kNoDeployment);
+}
+
+}  // namespace
+}  // namespace evo::core

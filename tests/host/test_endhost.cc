@@ -1,0 +1,141 @@
+// Endhost stack: self-addressing, native addressing, relabeling on
+// provider adoption, reverse lookup, and datagram construction.
+#include "host/endhost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evolvable_internet.h"
+#include "core/scenario.h"
+#include "net/topology_gen.h"
+
+namespace evo::host {
+namespace {
+
+using net::DomainId;
+using net::HostId;
+using net::IpvNAddr;
+
+struct Fixture {
+  Fixture() {
+    net::Topology topo = net::single_domain_line(3);
+    const auto& routers = topo.domain(DomainId{0}).routers;
+    h0 = topo.add_host(routers[0]);
+    h1 = topo.add_host(routers[2]);
+    internet = std::make_unique<core::EvolvableInternet>(std::move(topo));
+    internet->start();
+  }
+
+  HostId h0, h1;
+  std::unique_ptr<core::EvolvableInternet> internet;
+};
+
+TEST(HostStack, SelfAddressBeforeDeployment) {
+  Fixture f;
+  const auto addr = f.internet->hosts().ipvn_address(f.h0);
+  EXPECT_TRUE(addr.is_self_address());
+  EXPECT_EQ(addr.embedded_v4(), f.internet->topology().host(f.h0).address);
+  EXPECT_FALSE(f.internet->hosts().has_native_address(f.h0));
+}
+
+TEST(HostStack, NativeAddressAfterProviderDeploys) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto addr = f.internet->hosts().ipvn_address(f.h0);
+  EXPECT_FALSE(addr.is_self_address());
+  EXPECT_EQ(addr.native_domain(), 0u);
+  EXPECT_EQ(addr.native_node(),
+            f.internet->topology().host(f.h0).access_router.value());
+  EXPECT_TRUE(f.internet->hosts().has_native_address(f.h0));
+}
+
+TEST(HostStack, RelabelingIsAutomatic) {
+  // "these self-addresses are very likely temporary and such endhosts will
+  // have to relabel if and when their access providers do adopt IPvN."
+  Fixture f;
+  const auto before = f.internet->hosts().ipvn_address(f.h0);
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto after = f.internet->hosts().ipvn_address(f.h0);
+  EXPECT_NE(before, after);
+  EXPECT_TRUE(before.is_self_address());
+  EXPECT_FALSE(after.is_self_address());
+}
+
+TEST(HostStack, ReverseLookupSelfAddress) {
+  Fixture f;
+  const auto addr = f.internet->hosts().ipvn_address(f.h1);
+  const auto found = f.internet->hosts().host_by_ipvn(addr);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, f.h1);
+}
+
+TEST(HostStack, ReverseLookupNativeAddress) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto addr = f.internet->hosts().ipvn_address(f.h1);
+  ASSERT_FALSE(addr.is_self_address());
+  const auto found = f.internet->hosts().host_by_ipvn(addr);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, f.h1);
+}
+
+TEST(HostStack, ReverseLookupUnknownFails) {
+  Fixture f;
+  EXPECT_FALSE(f.internet->hosts()
+                   .host_by_ipvn(IpvNAddr::self(8, net::Ipv4Addr{9, 9, 9, 9}))
+                   .has_value());
+  EXPECT_FALSE(f.internet->hosts()
+                   .host_by_ipvn(IpvNAddr::native(8, 0, 9999, 0))
+                   .has_value());
+}
+
+TEST(HostStack, DatagramEncapsulatedTowardAnycast) {
+  Fixture f;
+  f.internet->deploy_domain(DomainId{0});
+  f.internet->converge();
+  const auto packet = f.internet->hosts().make_datagram(f.h0, f.h1, 42);
+  ASSERT_EQ(packet.depth(), 2u);
+  EXPECT_EQ(packet.payload_id, 42u);
+  // Outer v4 header targets the deployment's anycast address with the
+  // encapsulation protocol.
+  EXPECT_EQ(packet.outer().v4.dst, f.internet->vnbone().anycast_address());
+  EXPECT_EQ(packet.outer().v4.proto, net::Ipv4Header::Proto::kIpvNEncap);
+  EXPECT_EQ(packet.outer().v4.src, f.internet->topology().host(f.h0).address);
+  // Inner IPvN header carries src/dst and the legacy-destination option.
+  const auto& inner = packet.layers().front().vn;
+  EXPECT_EQ(inner.src, f.internet->hosts().ipvn_address(f.h0));
+  EXPECT_EQ(inner.dst, f.internet->hosts().ipvn_address(f.h1));
+  EXPECT_TRUE(inner.has_legacy_dst);
+  EXPECT_EQ(inner.legacy_dst, f.internet->topology().host(f.h1).address);
+}
+
+TEST(HostStack, VersionPropagatedFromConfig) {
+  net::Topology topo = net::single_domain_line(2);
+  const auto h = topo.add_host(topo.domain(DomainId{0}).routers[0]);
+  core::Options options;
+  options.vnbone.version = 11;
+  core::EvolvableInternet internet(std::move(topo), options);
+  internet.start();
+  EXPECT_EQ(internet.hosts().ipvn_address(h).version(), 11);
+}
+
+TEST(HostStack, HostsOnSameRouterDistinctAddresses) {
+  net::Topology topo = net::single_domain_line(2);
+  const auto r = topo.domain(DomainId{0}).routers[0];
+  const auto a = topo.add_host(r);
+  const auto b = topo.add_host(r);
+  core::EvolvableInternet internet(std::move(topo));
+  internet.start();
+  internet.deploy_domain(DomainId{0});
+  internet.converge();
+  const auto addr_a = internet.hosts().ipvn_address(a);
+  const auto addr_b = internet.hosts().ipvn_address(b);
+  EXPECT_NE(addr_a, addr_b);
+  EXPECT_EQ(internet.hosts().host_by_ipvn(addr_a), a);
+  EXPECT_EQ(internet.hosts().host_by_ipvn(addr_b), b);
+}
+
+}  // namespace
+}  // namespace evo::host

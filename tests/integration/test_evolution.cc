@@ -1,0 +1,153 @@
+// Gradual-evolution integration: roll IPvN out router-by-router and
+// domain-by-domain over a transit-stub Internet, checking the paper's
+// invariants at every epoch.
+#include <gtest/gtest.h>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+#include "core/universal_access.h"
+#include "net/topology_gen.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+using net::NodeId;
+
+std::unique_ptr<EvolvableInternet> make_internet(std::uint64_t seed) {
+  auto topo = net::generate_transit_stub({.transit_domains = 2,
+                                          .stubs_per_transit = 2,
+                                          .seed = seed});
+  sim::Rng rng{seed};
+  net::attach_hosts(topo, 1, rng);
+  auto net = std::make_unique<EvolvableInternet>(std::move(topo));
+  net->start();
+  return net;
+}
+
+TEST(Evolution, DomainByDomainKeepsUniversalAccess) {
+  auto net = make_internet(31);
+  std::vector<double> stretches;
+  for (const auto& domain : net->topology().domains()) {
+    net->deploy_domain(domain.id);
+    net->converge();
+    const auto report = core::verify_universal_access(*net);
+    ASSERT_TRUE(report.universal())
+        << "UA broken after deploying " << domain.name;
+    stretches.push_back(report.mean_stretch);
+  }
+  // Full deployment beats first-domain-only deployment on stretch.
+  EXPECT_LE(stretches.back(), stretches.front());
+}
+
+TEST(Evolution, RouterByRouterWithinOneDomain) {
+  auto net = make_internet(32);
+  const auto& domain = net->topology().domains()[0];
+  for (const NodeId r : domain.routers) {
+    net->deploy_router(r);
+    net->converge();
+    const auto report = core::verify_universal_access(*net, 30);
+    ASSERT_TRUE(report.universal())
+        << "UA broken at router " << r.value() << " of " << domain.name;
+  }
+}
+
+TEST(Evolution, AnycastProximityImprovesMonotonically) {
+  // As more domains deploy, the mean distance-to-ingress for a fixed probe
+  // set must not get worse (option 1: true closest-member routing).
+  auto topo = net::generate_transit_stub({.transit_domains = 3,
+                                          .stubs_per_transit = 2,
+                                          .seed = 33});
+  core::Options options;
+  options.vnbone.anycast_mode = anycast::InterDomainMode::kGlobalRoutes;
+  EvolvableInternet net(std::move(topo), options);
+  net.start();
+
+  double previous = -1.0;
+  for (const auto& domain : net.topology().domains()) {
+    net.deploy_domain(domain.id);
+    net.converge();
+    const auto& group = net.anycast().group(net.vnbone().anycast_group());
+    const anycast::ClosestMemberOracle oracle(net.topology(), group);
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& router : net.topology().routers()) {
+      const auto probe = anycast::probe(net.network(), group, router.id, oracle);
+      if (!probe.delivered()) continue;
+      total += static_cast<double>(probe.optimal_cost);
+      ++count;
+    }
+    ASSERT_GT(count, 0u);
+    const double mean_optimal = total / static_cast<double>(count);
+    if (previous >= 0.0) {
+      EXPECT_LE(mean_optimal, previous + 1e-9)
+          << "optimal distance regressed after " << domain.name;
+    }
+    previous = mean_optimal;
+  }
+}
+
+TEST(Evolution, VnBoneStaysConnectedThroughout) {
+  auto net = make_internet(34);
+  sim::Rng rng{34};
+  // Deploy random routers one at a time (worst-case scatter).
+  std::vector<NodeId> order;
+  for (const auto& r : net->topology().routers()) order.push_back(r.id);
+  rng.shuffle(order);
+  std::size_t deployed = 0;
+  for (const NodeId r : order) {
+    net->deploy_router(r);
+    net->converge();
+    ++deployed;
+    const auto nodes = net->vnbone().deployed_routers();
+    ASSERT_EQ(nodes.size(), deployed);
+    const auto comps = net::connected_components(net->vnbone().virtual_graph());
+    for (const NodeId n : nodes) {
+      ASSERT_EQ(comps.label[n.value()], comps.label[nodes.front().value()])
+          << "vN-Bone partition at deployment step " << deployed;
+    }
+    if (deployed >= 12) break;  // bounded runtime; scatter phase is the risk
+  }
+}
+
+TEST(Evolution, NativeAddressFractionGrows) {
+  auto net = make_internet(35);
+  const auto& topo = net->topology();
+  std::size_t last_native = 0;
+  for (const auto& domain : topo.domains()) {
+    net->deploy_domain(domain.id);
+    net->converge();
+    std::size_t native = 0;
+    for (const auto& host : topo.hosts()) {
+      if (net->hosts().has_native_address(host.id)) ++native;
+    }
+    EXPECT_GE(native, last_native);
+    last_native = native;
+  }
+  EXPECT_EQ(last_native, topo.host_count());
+}
+
+TEST(Evolution, LateJoinerServedByOwnDomain) {
+  auto net = make_internet(36);
+  const auto& topo = net->topology();
+  // Deploy the first transit, then a stub joins late; its hosts' ingress
+  // must move into the stub itself.
+  net->deploy_domain(DomainId{0});
+  net->converge();
+  const auto host = topo.hosts().front().id;
+  const auto before = core::send_ipvn(*net, host, topo.hosts().back().id);
+  ASSERT_TRUE(before.delivered);
+  const DomainId host_domain = topo.router(topo.host(host).access_router).domain;
+  EXPECT_NE(topo.router(before.ingress).domain, host_domain);
+
+  net->deploy_domain(host_domain);
+  net->converge();
+  const auto after = core::send_ipvn(*net, host, topo.hosts().back().id);
+  ASSERT_TRUE(after.delivered);
+  EXPECT_EQ(topo.router(after.ingress).domain, host_domain);
+}
+
+}  // namespace
+}  // namespace evo

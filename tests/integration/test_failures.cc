@@ -1,0 +1,195 @@
+// Failure injection: links die, members leave, domains undeploy — the
+// system must converge to a consistent state and keep what connectivity
+// physics allows.
+#include <gtest/gtest.h>
+
+#include "anycast/resolver.h"
+#include "core/evolvable_internet.h"
+#include "core/trace.h"
+#include "core/universal_access.h"
+#include "net/topology_gen.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+using net::DomainId;
+using net::LinkId;
+using net::NodeId;
+
+std::unique_ptr<EvolvableInternet> ring_internet() {
+  // Three transit domains in a ring (redundancy for failover) with stubs.
+  auto topo = net::generate_transit_stub({.transit_domains = 3,
+                                          .stubs_per_transit = 1,
+                                          .extra_transit_peering_probability = 1.0,
+                                          .seed = 41});
+  sim::Rng rng{41};
+  net::attach_hosts(topo, 1, rng);
+  auto net = std::make_unique<EvolvableInternet>(std::move(topo));
+  net->start();
+  return net;
+}
+
+TEST(Failures, AnycastSurvivesMemberLoss) {
+  auto net = ring_internet();
+  const auto& d0 = net->topology().domains()[0];
+  net->deploy_domain(d0.id);
+  net->converge();
+  const auto group_id = net->vnbone().anycast_group();
+  // Remove members one by one; as long as one remains, probes deliver.
+  std::vector<NodeId> members(d0.routers.begin(), d0.routers.end());
+  const NodeId probe_src = net->topology().domains().back().routers.front();
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    net->undeploy_router(members[i]);
+    net->converge();
+    const auto probe = anycast::probe(net->network(),
+                                      net->anycast().group(group_id), probe_src);
+    ASSERT_TRUE(probe.delivered()) << "after removing member " << i;
+  }
+}
+
+TEST(Failures, IntraDomainLinkFailureReroutesTunnels) {
+  core::EvolvableInternet net(net::single_domain_ring(6));
+  net.start();
+  const auto& routers = net.topology().domain(DomainId{0}).routers;
+  net.deploy_router(routers[0]);
+  net.deploy_router(routers[2]);
+  net.converge();
+  ASSERT_EQ(net.vnbone().virtual_links().size(), 1u);
+  const auto cost_before = net.vnbone().virtual_links()[0].underlay_cost;
+  EXPECT_EQ(cost_before, 2u);  // 0-1-2
+  // Cut the 1-2 edge: the short side of the ring between the members.
+  net.set_link_up(LinkId{1}, false);
+  net.converge();
+  ASSERT_EQ(net.vnbone().virtual_links().size(), 1u);
+  // The tunnel now rides the long way round (0-5-4-3-2).
+  EXPECT_EQ(net.vnbone().virtual_links()[0].underlay_cost, 4u);
+  // And the underlay trace still delivers.
+  const auto trace =
+      net.network().trace(routers[0], net.topology().router(routers[2]).loopback);
+  EXPECT_TRUE(trace.delivered());
+}
+
+TEST(Failures, InterDomainLinkFailureFailsOverBgpAndBone) {
+  // Two customer transits t0, t1 under a common provider "up": when the
+  // direct t0-t1 peering dies, BGP (and the vN-Bone tunnels riding it)
+  // fail over through the provider. A *peer* top would not offer transit
+  // (valley-freeness) — the provider relationship is what makes failover
+  // policy-legal.
+  net::Topology topo;
+  const auto up = topo.add_domain("up");
+  const auto t0 = topo.add_domain("t0");
+  const auto t1 = topo.add_domain("t1");
+  const auto s0 = topo.add_domain("s0", /*stub=*/true);
+  const auto s1 = topo.add_domain("s1", /*stub=*/true);
+  sim::Rng rng{44};
+  net::IntraDomainParams internal{.routers = 2, .chord_probability = 0.0};
+  for (const auto d : {up, t0, t1, s0, s1}) {
+    net::populate_domain(topo, d, internal, rng);
+  }
+  auto first = [&](DomainId d) { return topo.domain(d).routers[0]; };
+  auto second = [&](DomainId d) { return topo.domain(d).routers[1]; };
+  topo.add_interdomain_link(first(up), first(t0), net::Relationship::kCustomer);
+  topo.add_interdomain_link(second(up), first(t1), net::Relationship::kCustomer);
+  const auto direct =
+      topo.add_interdomain_link(second(t0), second(t1), net::Relationship::kPeer);
+  topo.add_interdomain_link(second(t0), first(s0), net::Relationship::kCustomer);
+  topo.add_interdomain_link(second(t1), first(s1), net::Relationship::kCustomer);
+  topo.add_host(second(s0));
+  topo.add_host(second(s1));
+
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  net.deploy_domain(t0);
+  net.deploy_domain(t1);
+  net.converge();
+  ASSERT_TRUE(core::verify_universal_access(net).universal());
+
+  net.set_link_up(direct, false);
+  net.converge();
+  const auto deployed = net.vnbone().deployed_routers();
+  const auto comps = net::connected_components(net.vnbone().virtual_graph());
+  for (const NodeId n : deployed) {
+    EXPECT_EQ(comps.label[n.value()], comps.label[deployed.front().value()]);
+  }
+  const auto report = core::verify_universal_access(net);
+  EXPECT_TRUE(report.universal()) << report.failures.size() << " failures";
+}
+
+TEST(Failures, FullUndeployReturnsToNoDeploymentState) {
+  core::EvolvableInternet net(net::single_domain_line(4));
+  net.start();
+  const auto& routers = net.topology().domain(DomainId{0}).routers;
+  for (const NodeId r : routers) net.deploy_router(r);
+  net.converge();
+  for (const NodeId r : routers) net.undeploy_router(r);
+  net.converge();
+  EXPECT_TRUE(net.vnbone().deployed_routers().empty());
+  EXPECT_TRUE(net.vnbone().virtual_links().empty());
+  // No router still claims the anycast address locally.
+  const auto addr = net.vnbone().anycast_address();
+  for (const NodeId r : routers) {
+    EXPECT_FALSE(net.network().has_local_address(r, addr));
+  }
+}
+
+TEST(Failures, StubIsolationOnlyBreaksItsOwnPairs) {
+  auto net = ring_internet();
+  net->deploy_domain(net->topology().domains()[0].id);
+  net->converge();
+  // Cut the single provider link of the last stub: its host pairs fail,
+  // everyone else keeps working.
+  const auto& topo = net->topology();
+  const DomainId stub = topo.domains().back().id;
+  ASSERT_TRUE(topo.domain(stub).stub);
+  for (const auto& peering : topo.domain(stub).peerings) {
+    net->set_link_up(peering.link, false);
+  }
+  net->converge();
+  const auto report = core::verify_universal_access(*net);
+  EXPECT_FALSE(report.universal());
+  for (const auto& failure : report.failures) {
+    const auto src_domain =
+        topo.router(topo.host(failure.src).access_router).domain;
+    const auto dst_domain =
+        topo.router(topo.host(failure.dst).access_router).domain;
+    EXPECT_TRUE(src_domain == stub || dst_domain == stub)
+        << "unrelated pair broke: " << failure.src.value() << "->"
+        << failure.dst.value();
+  }
+}
+
+TEST(Failures, DefaultDomainMemberLossUnderOption2) {
+  // Option 2 depends on the default domain capturing un-peered traffic.
+  // If the default domain's members all leave but another member domain
+  // peer-advertises widely enough, its neighbors keep working.
+  auto fig_topo = net::generate_transit_stub({.transit_domains = 2,
+                                              .stubs_per_transit = 1,
+                                              .seed = 43});
+  core::EvolvableInternet net(std::move(fig_topo));
+  net.start();
+  const auto& domains = net.topology().domains();
+  net.deploy_domain(domains[0].id);  // default
+  net.deploy_domain(domains[1].id);
+  net.converge();
+  const auto group_id = net.vnbone().anycast_group();
+  // Default domain undeploys entirely.
+  for (const NodeId r : net.topology().domain(domains[0].id).routers) {
+    net.undeploy_router(r);
+  }
+  net.converge();
+  // Probes from inside the remaining member domain still deliver (its own
+  // IGP anycast routes capture them)...
+  const auto inside = anycast::probe(net.network(), net.anycast().group(group_id),
+                                     domains[1].routers.front());
+  EXPECT_TRUE(inside.delivered());
+  // ...while probes from a legacy stub far from domain 1 head toward the
+  // (now empty) default space and die — the documented failure mode that
+  // motivates keeping a member in the home domain (GIA's rule).
+  const auto outside = anycast::probe(net.network(), net.anycast().group(group_id),
+                                      domains[2].routers.front());
+  EXPECT_FALSE(outside.delivered());
+}
+
+}  // namespace
+}  // namespace evo

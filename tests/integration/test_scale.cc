@@ -1,0 +1,69 @@
+// Scale smoke: the full stack at hundreds of domains — base convergence,
+// partial deployment, universal access, and vN-Bone integrity.
+#include <gtest/gtest.h>
+
+#include "core/evolvable_internet.h"
+#include "core/universal_access.h"
+#include "net/topology_gen.h"
+
+namespace evo {
+namespace {
+
+using core::EvolvableInternet;
+
+TEST(Scale, TwoHundredDomains) {
+  auto topo = net::generate_transit_stub({.transit_domains = 10,
+                                          .stubs_per_transit = 19,
+                                          .seed = 4242});
+  sim::Rng rng{4242};
+  net::attach_hosts(topo, 1, rng);
+  EvolvableInternet net(std::move(topo));
+  net.start();
+  EXPECT_EQ(net.topology().domain_count(), 200u);
+  EXPECT_TRUE(net.simulator().idle());
+
+  // Spot-check base reachability across far-apart domains.
+  const auto& topo_ref = net.topology();
+  const auto src = topo_ref.domains().front().routers.front();
+  const auto dst = topo_ref.domains().back().routers.back();
+  EXPECT_TRUE(net.network()
+                  .trace(src, topo_ref.router(dst).loopback)
+                  .delivered());
+
+  // Deploy the transit core; universal access must hold for a sample.
+  for (const auto& d : topo_ref.domains()) {
+    if (!d.stub) net.deploy_domain(d.id);
+  }
+  net.converge();
+  const auto report = core::verify_universal_access(net, /*max_pairs=*/150);
+  EXPECT_TRUE(report.universal()) << report.failures.size() << " failures";
+
+  // The bone is connected and congruence machinery ran.
+  const auto deployed = net.vnbone().deployed_routers();
+  ASSERT_GT(deployed.size(), 50u);
+  const auto comps = net::connected_components(net.vnbone().virtual_graph());
+  for (const auto r : deployed) {
+    ASSERT_EQ(comps.label[r.value()], comps.label[deployed.front().value()]);
+  }
+}
+
+TEST(Scale, ScatteredDeploymentAcrossManyDomains) {
+  auto topo = net::generate_transit_stub({.transit_domains = 8,
+                                          .stubs_per_transit = 12,
+                                          .seed = 4343});
+  sim::Rng rng{4343};
+  net::attach_hosts(topo, 1, rng);
+  EvolvableInternet net(std::move(topo));
+  net.start();
+  // One router in every fifth domain — heavy bootstrap pressure.
+  const auto& domains = net.topology().domains();
+  for (std::size_t i = 0; i < domains.size(); i += 5) {
+    net.deploy_router(domains[i].routers.front());
+  }
+  net.converge();
+  const auto report = core::verify_universal_access(net, /*max_pairs=*/100);
+  EXPECT_TRUE(report.universal()) << report.failures.size() << " failures";
+}
+
+}  // namespace
+}  // namespace evo

@@ -1,0 +1,147 @@
+#include "net/address.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstruction) {
+  const Ipv4Addr a{10, 1, 2, 3};
+  EXPECT_EQ(a.bits(), 0x0A010203u);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Addr, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "10.0.0.1", "192.168.1.42"}) {
+    const auto parsed = Ipv4Addr::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                           "1..2.3", "1.2.3.4 ", "1.2.3.-4", "0001.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Addr::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr{0}, Ipv4Addr{1});
+  EXPECT_LT((Ipv4Addr{10, 0, 0, 1}), (Ipv4Addr{10, 0, 0, 2}));
+}
+
+TEST(Prefix, Canonicalization) {
+  const Prefix p{Ipv4Addr{10, 1, 2, 3}, 16};
+  EXPECT_EQ(p.address(), (Ipv4Addr{10, 1, 0, 0}));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p{Ipv4Addr{10, 1, 0, 0}, 16};
+  EXPECT_TRUE(p.contains(Ipv4Addr{10, 1, 200, 9}));
+  EXPECT_FALSE(p.contains(Ipv4Addr{10, 2, 0, 0}));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix wide{Ipv4Addr{10, 0, 0, 0}, 8};
+  const Prefix narrow{Ipv4Addr{10, 1, 0, 0}, 16};
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const Prefix all{Ipv4Addr{0}, 0};
+  EXPECT_TRUE(all.contains(Ipv4Addr{255, 255, 255, 255}));
+  EXPECT_TRUE(all.contains(Ipv4Addr{0}));
+}
+
+TEST(Prefix, HostRoute) {
+  const auto p = Prefix::host(Ipv4Addr{1, 2, 3, 4});
+  EXPECT_EQ(p.length(), 32);
+  EXPECT_TRUE(p.contains(Ipv4Addr{1, 2, 3, 4}));
+  EXPECT_FALSE(p.contains(Ipv4Addr{1, 2, 3, 5}));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.1.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/ab").has_value());
+}
+
+TEST(IpvNAddr, NativeFields) {
+  const auto a = IpvNAddr::native(8, /*domain=*/42, /*node=*/7, /*host=*/3);
+  EXPECT_FALSE(a.is_self_address());
+  EXPECT_EQ(a.version(), 8);
+  EXPECT_EQ(a.native_domain(), 42u);
+  EXPECT_EQ(a.native_node(), 7u);
+  EXPECT_EQ(a.native_host(), 3u);
+}
+
+TEST(IpvNAddr, SelfAddressEmbedsV4) {
+  const Ipv4Addr v4{10, 1, 0, 2};
+  const auto a = IpvNAddr::self(8, v4);
+  EXPECT_TRUE(a.is_self_address());
+  EXPECT_EQ(a.version(), 8);
+  EXPECT_EQ(a.embedded_v4(), v4);
+}
+
+TEST(IpvNAddr, SelfAndNativeNeverCollide) {
+  // The flag bit separates the two allocation families.
+  const auto self = IpvNAddr::self(8, Ipv4Addr{1});
+  const auto native = IpvNAddr::native(8, 0, 0, 1);
+  EXPECT_NE(self, native);
+}
+
+TEST(IpvNAddr, ToStringShapes) {
+  const auto self = IpvNAddr::self(8, Ipv4Addr{10, 0, 0, 1});
+  EXPECT_EQ(self.to_string(), "v8:self:10.0.0.1");
+  const auto native = IpvNAddr::native(9, 1, 2, 3);
+  EXPECT_EQ(native.to_string().substr(0, 3), "v9:");
+}
+
+TEST(IpvNAddr, Unspecified) {
+  EXPECT_TRUE(IpvNAddr{}.is_unspecified());
+  EXPECT_FALSE(IpvNAddr::native(8, 0, 0, 1).is_unspecified());
+}
+
+TEST(IpvNPrefix, ContainsNativeBlock) {
+  // /40 covers flag+version+domain: all addresses of one domain.
+  const IpvNPrefix block{IpvNAddr::native(8, 42, 0, 0), 40};
+  EXPECT_TRUE(block.contains(IpvNAddr::native(8, 42, 9, 17)));
+  EXPECT_FALSE(block.contains(IpvNAddr::native(8, 43, 0, 0)));
+  EXPECT_FALSE(block.contains(IpvNAddr::native(9, 42, 0, 0)));
+  EXPECT_FALSE(block.contains(IpvNAddr::self(8, Ipv4Addr{1})));
+}
+
+TEST(IpvNPrefix, HostRouteExactMatch) {
+  const auto a = IpvNAddr::native(8, 1, 2, 3);
+  const auto p = IpvNPrefix::host(a);
+  EXPECT_TRUE(p.contains(a));
+  EXPECT_FALSE(p.contains(IpvNAddr::native(8, 1, 2, 4)));
+}
+
+TEST(IpvNPrefix, CanonicalizesLowBits) {
+  const IpvNPrefix p{IpvNAddr::native(8, 42, 9, 17), 40};
+  EXPECT_EQ(p.address().native_node(), 0u);
+  EXPECT_EQ(p.address().native_host(), 0u);
+}
+
+TEST(IpvNPrefix, LengthsAcrossWordBoundary) {
+  const IpvNAddr a{0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL};
+  for (std::uint8_t len : {0, 1, 63, 64, 65, 127, 128}) {
+    const IpvNPrefix p{a, len};
+    EXPECT_TRUE(p.contains(a)) << static_cast<int>(len);
+  }
+  const IpvNPrefix p64{a, 64};
+  EXPECT_TRUE(p64.contains(IpvNAddr{0xFFFFFFFFFFFFFFFFULL, 0}));
+  const IpvNPrefix p65{a, 65};
+  EXPECT_FALSE(p65.contains(IpvNAddr{0xFFFFFFFFFFFFFFFFULL, 0}));
+}
+
+}  // namespace
+}  // namespace evo::net

@@ -1,0 +1,157 @@
+// Event-driven packet forwarding: latency accrual, TTL, drop reasons.
+#include "net/delivery.h"
+
+#include <gtest/gtest.h>
+
+#include "igp/link_state.h"
+#include "net/topology_gen.h"
+
+namespace evo::net {
+namespace {
+
+/// Line topology with a converged link-state IGP, so FIBs are populated.
+struct Fixture {
+  explicit Fixture(std::uint32_t routers, sim::Duration latency)
+      : network(make_topo(routers, latency)),
+        igp(simulator, network, DomainId{0}),
+        engine(simulator, network) {
+    igp.start();
+    simulator.run();
+  }
+
+  static Topology make_topo(std::uint32_t routers, sim::Duration latency) {
+    Topology topo;
+    const auto d = topo.add_domain("line", /*stub=*/true);
+    std::vector<NodeId> nodes;
+    for (std::uint32_t i = 0; i < routers; ++i) nodes.push_back(topo.add_router(d));
+    for (std::uint32_t i = 0; i + 1 < routers; ++i) {
+      topo.add_link(nodes[i], nodes[i + 1], 1, latency);
+    }
+    return topo;
+  }
+
+  Packet packet_to(NodeId dst, std::uint8_t ttl = 64) {
+    Packet p;
+    Ipv4Header h;
+    h.src = network.topology().router(NodeId{0}).loopback;
+    h.dst = network.topology().router(dst).loopback;
+    h.ttl = ttl;
+    p.push(HeaderLayer::ipv4(h));
+    return p;
+  }
+
+  sim::Simulator simulator;
+  Network network;
+  igp::LinkStateIgp igp;
+  DeliveryEngine engine;
+};
+
+TEST(DeliveryEngine, DeliversWithAccruedLatency) {
+  Fixture f(5, sim::Duration::millis(3));
+  bool delivered = false;
+  f.engine.inject(NodeId{0}, f.packet_to(NodeId{4}),
+                  [&](NodeId at, const Packet&, sim::Duration elapsed) {
+                    delivered = true;
+                    EXPECT_EQ(at, NodeId{4});
+                    EXPECT_EQ(elapsed, sim::Duration::millis(12));  // 4 hops x 3ms
+                  });
+  f.simulator.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.engine.packets_delivered(), 1u);
+  EXPECT_EQ(f.engine.packets_forwarded(), 4u);
+}
+
+TEST(DeliveryEngine, LocalDeliveryIsImmediate) {
+  Fixture f(3, sim::Duration::millis(1));
+  bool delivered = false;
+  f.engine.inject(NodeId{1}, f.packet_to(NodeId{1}),
+                  [&](NodeId at, const Packet&, sim::Duration elapsed) {
+                    delivered = true;
+                    EXPECT_EQ(at, NodeId{1});
+                    EXPECT_EQ(elapsed, sim::Duration::zero());
+                  });
+  EXPECT_TRUE(delivered);  // synchronous: no events needed
+}
+
+TEST(DeliveryEngine, TtlExpiryDrops) {
+  Fixture f(6, sim::Duration::millis(1));
+  bool dropped = false;
+  f.engine.inject(
+      NodeId{0}, f.packet_to(NodeId{5}, /*ttl=*/2),
+      [&](NodeId, const Packet&, sim::Duration) { FAIL() << "delivered"; },
+      [&](Network::TraceResult::Outcome reason, NodeId at, const Packet&) {
+        dropped = true;
+        EXPECT_EQ(reason, Network::TraceResult::Outcome::kTtlExpired);
+        EXPECT_EQ(at, NodeId{2});  // two hops in
+      });
+  f.simulator.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(f.engine.packets_dropped(), 1u);
+}
+
+TEST(DeliveryEngine, NoRouteDrops) {
+  Fixture f(3, sim::Duration::millis(1));
+  bool dropped = false;
+  Packet p;
+  Ipv4Header h;
+  h.dst = Ipv4Addr{0, 99, 0, 1};  // unknown destination
+  p.push(HeaderLayer::ipv4(h));
+  f.engine.inject(
+      NodeId{0}, std::move(p),
+      [&](NodeId, const Packet&, sim::Duration) { FAIL(); },
+      [&](Network::TraceResult::Outcome reason, NodeId, const Packet&) {
+        dropped = true;
+        EXPECT_EQ(reason, Network::TraceResult::Outcome::kNoRoute);
+      });
+  f.simulator.run();
+  EXPECT_TRUE(dropped);
+}
+
+TEST(DeliveryEngine, LinkFailureMidFlightDrops) {
+  Fixture f(4, sim::Duration::millis(5));
+  bool dropped = false;
+  bool delivered = false;
+  f.engine.inject(
+      NodeId{0}, f.packet_to(NodeId{3}),
+      [&](NodeId, const Packet&, sim::Duration) { delivered = true; },
+      [&](Network::TraceResult::Outcome reason, NodeId, const Packet&) {
+        dropped = true;
+        EXPECT_EQ(reason, Network::TraceResult::Outcome::kLinkDown);
+      });
+  // Fail the last link while the packet is in flight (before it arrives).
+  f.simulator.schedule_after(sim::Duration::millis(7), [&] {
+    f.network.topology().set_link_up(LinkId{2}, false);
+  });
+  f.simulator.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_FALSE(delivered);
+}
+
+TEST(DeliveryEngine, ManyConcurrentPackets) {
+  Fixture f(8, sim::Duration::millis(1));
+  int received = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.engine.inject(NodeId{0}, f.packet_to(NodeId{7}),
+                    [&](NodeId, const Packet&, sim::Duration) { ++received; });
+  }
+  f.simulator.run();
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(f.engine.packets_delivered(), 100u);
+}
+
+TEST(DeliveryEngine, PayloadIdSurvives) {
+  Fixture f(3, sim::Duration::millis(1));
+  auto p = f.packet_to(NodeId{2});
+  p.payload_id = 424242;
+  bool checked = false;
+  f.engine.inject(NodeId{0}, std::move(p),
+                  [&](NodeId, const Packet& arrived, sim::Duration) {
+                    checked = true;
+                    EXPECT_EQ(arrived.payload_id, 424242u);
+                  });
+  f.simulator.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace evo::net

@@ -1,0 +1,106 @@
+// Differential property test: the binary-trie FIB against a brute-force
+// longest-prefix-match reference, over randomized prefix sets and
+// lookups, including inserts, replacements, and removals.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "net/fib.h"
+#include "sim/random.h"
+
+namespace evo::net {
+namespace {
+
+/// Brute-force reference: linear scan for the longest matching prefix.
+class ReferenceFib {
+ public:
+  void insert(const FibEntry& entry) { entries_[entry.prefix] = entry; }
+  bool remove(const Prefix& prefix) { return entries_.erase(prefix) > 0; }
+
+  std::optional<FibEntry> lookup(Ipv4Addr addr) const {
+    std::optional<FibEntry> best;
+    for (const auto& [prefix, entry] : entries_) {
+      if (!prefix.contains(addr)) continue;
+      if (!best || prefix.length() > best->prefix.length()) best = entry;
+    }
+    return best;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Prefix, FibEntry> entries_;
+};
+
+Prefix random_prefix(sim::Rng& rng) {
+  // Cluster prefixes so nesting and sibling collisions actually happen.
+  const auto base = static_cast<std::uint32_t>(rng.uniform_int(0, 15)) << 28;
+  const auto bits = base | static_cast<std::uint32_t>(rng.next_u64() & 0x0FFFFFFF);
+  const auto length = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+  return Prefix{Ipv4Addr{bits}, length};
+}
+
+TEST(FibDifferential, RandomOperationsMatchReference) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng{seed * 7919};
+    Fib fib;
+    ReferenceFib reference;
+    std::vector<Prefix> inserted;
+
+    for (int op = 0; op < 2000; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.55 || inserted.empty()) {
+        FibEntry entry;
+        entry.prefix = random_prefix(rng);
+        entry.next_hop = NodeId{static_cast<std::uint32_t>(op)};
+        entry.origin = RouteOrigin::kStatic;
+        fib.insert(entry);
+        reference.insert(entry);
+        inserted.push_back(entry.prefix);
+      } else if (dice < 0.75) {
+        // Replace an existing prefix with a new next hop.
+        const Prefix target = rng.pick(inserted);
+        FibEntry entry;
+        entry.prefix = target;
+        entry.next_hop = NodeId{static_cast<std::uint32_t>(op + 100000)};
+        fib.insert(entry);
+        reference.insert(entry);
+      } else {
+        const Prefix target = rng.pick(inserted);
+        EXPECT_EQ(fib.remove(target), reference.remove(target));
+      }
+
+      // Probe a few random addresses (biased into the clustered space).
+      for (int probe = 0; probe < 4; ++probe) {
+        const Ipv4Addr addr{static_cast<std::uint32_t>(rng.next_u64())};
+        const auto* got = fib.lookup(addr);
+        const auto expected = reference.lookup(addr);
+        ASSERT_EQ(got != nullptr, expected.has_value())
+            << "seed " << seed << " op " << op << " addr " << addr.to_string();
+        if (got != nullptr) {
+          EXPECT_EQ(got->prefix, expected->prefix);
+          EXPECT_EQ(got->next_hop, expected->next_hop);
+        }
+      }
+    }
+    EXPECT_EQ(fib.size(), reference.size()) << "seed " << seed;
+  }
+}
+
+TEST(FibDifferential, EntriesEnumerationMatchesReferenceSize) {
+  sim::Rng rng{424242};
+  Fib fib;
+  ReferenceFib reference;
+  for (int i = 0; i < 500; ++i) {
+    FibEntry entry;
+    entry.prefix = random_prefix(rng);
+    entry.next_hop = NodeId{static_cast<std::uint32_t>(i)};
+    fib.insert(entry);
+    reference.insert(entry);
+  }
+  EXPECT_EQ(fib.entries().size(), reference.size());
+}
+
+}  // namespace
+}  // namespace evo::net

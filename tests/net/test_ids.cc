@@ -1,0 +1,46 @@
+#include "net/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace evo::net {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  const NodeId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_GT(NodeId::invalid(), NodeId{0});  // sentinel sorts last
+}
+
+TEST(Ids, DistinctTagTypesDontMix) {
+  // NodeId and DomainId must be different types (compile-time property).
+  static_assert(!std::is_same_v<NodeId, DomainId>);
+  static_assert(!std::is_same_v<LinkId, GroupId>);
+  static_assert(!std::is_convertible_v<NodeId, DomainId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId{1}));
+  EXPECT_FALSE(set.contains(NodeId{3}));
+}
+
+}  // namespace
+}  // namespace evo::net

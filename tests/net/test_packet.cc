@@ -1,0 +1,83 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::net {
+namespace {
+
+TEST(Packet, PushPopStack) {
+  Packet p;
+  EXPECT_TRUE(p.empty());
+  Ipv4Header h;
+  h.src = Ipv4Addr{1};
+  h.dst = Ipv4Addr{2};
+  p.push(HeaderLayer::ipv4(h));
+  EXPECT_EQ(p.depth(), 1u);
+  EXPECT_EQ(p.outer().kind, HeaderLayer::Kind::kIpv4);
+  const auto popped = p.pop();
+  EXPECT_EQ(popped.v4.dst, Ipv4Addr{2});
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Packet, EncapsulationOrder) {
+  IpvNHeader inner;
+  inner.src = IpvNAddr::native(8, 1, 2, 3);
+  inner.dst = IpvNAddr::self(8, Ipv4Addr{10, 0, 0, 1});
+  Packet p = make_encapsulated(inner, Ipv4Addr{1, 1, 1, 1}, Ipv4Addr{2, 2, 2, 2});
+  ASSERT_EQ(p.depth(), 2u);
+  // Outermost is the v4 header addressed to the anycast address.
+  EXPECT_EQ(p.outer().kind, HeaderLayer::Kind::kIpv4);
+  EXPECT_EQ(p.outer().v4.dst, (Ipv4Addr{2, 2, 2, 2}));
+  EXPECT_EQ(p.outer().v4.proto, Ipv4Header::Proto::kIpvNEncap);
+  // Decapsulating exposes the IPvN header.
+  p.pop();
+  EXPECT_EQ(p.outer().kind, HeaderLayer::Kind::kIpvN);
+  EXPECT_EQ(p.outer().vn.dst.embedded_v4(), (Ipv4Addr{10, 0, 0, 1}));
+}
+
+TEST(Packet, NestedTunnels) {
+  IpvNHeader inner;
+  Packet p = make_encapsulated(inner, Ipv4Addr{1}, Ipv4Addr{2});
+  // vN-Bone tunnel pushes another v4 header.
+  Ipv4Header tunnel;
+  tunnel.dst = Ipv4Addr{3};
+  p.push(HeaderLayer::ipv4(tunnel));
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.outer().v4.dst, Ipv4Addr{3});
+  p.pop();
+  EXPECT_EQ(p.outer().v4.dst, Ipv4Addr{2});
+}
+
+TEST(Packet, LegacyDstOption) {
+  IpvNHeader h;
+  EXPECT_FALSE(h.has_legacy_dst);
+  h.legacy_dst = Ipv4Addr{10, 0, 0, 1};
+  h.has_legacy_dst = true;
+  Packet p;
+  p.push(HeaderLayer::ipvn(h));
+  EXPECT_TRUE(p.outer().vn.has_legacy_dst);
+}
+
+TEST(Packet, DescribeRendersStack) {
+  IpvNHeader inner;
+  inner.src = IpvNAddr::self(8, Ipv4Addr{10, 0, 0, 1});
+  inner.dst = IpvNAddr::self(8, Ipv4Addr{10, 0, 0, 2});
+  Packet p = make_encapsulated(inner, Ipv4Addr{1, 0, 0, 1}, Ipv4Addr{2, 0, 0, 1});
+  const auto text = p.describe();
+  EXPECT_NE(text.find("v4[1.0.0.1 -> 2.0.0.1]"), std::string::npos);
+  EXPECT_NE(text.find("vN["), std::string::npos);
+}
+
+TEST(Packet, EmptyDescribe) {
+  EXPECT_EQ(Packet{}.describe(), "<empty>");
+}
+
+TEST(Packet, PayloadIdPreserved) {
+  IpvNHeader inner;
+  Packet p = make_encapsulated(inner, Ipv4Addr{1}, Ipv4Addr{2});
+  p.payload_id = 777;
+  EXPECT_EQ(p.payload_id, 777u);
+}
+
+}  // namespace
+}  // namespace evo::net

@@ -1,0 +1,186 @@
+#include "net/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::net {
+namespace {
+
+TEST(SingleDomainShapes, Line) {
+  const auto topo = single_domain_line(4, 2);
+  EXPECT_EQ(topo.router_count(), 4u);
+  EXPECT_EQ(topo.link_count(), 3u);
+  const auto g = topo.physical_graph();
+  const auto paths = dijkstra(g, NodeId{0});
+  EXPECT_EQ(paths.distance_to(NodeId{3}), 6u);
+}
+
+TEST(SingleDomainShapes, Ring) {
+  const auto topo = single_domain_ring(6);
+  EXPECT_EQ(topo.link_count(), 6u);
+  const auto paths = dijkstra(topo.physical_graph(), NodeId{0});
+  EXPECT_EQ(paths.distance_to(NodeId{3}), 3u);  // either way round
+}
+
+TEST(SingleDomainShapes, Star) {
+  const auto topo = single_domain_star(5);
+  EXPECT_EQ(topo.router_count(), 6u);
+  EXPECT_EQ(topo.link_count(), 5u);
+  const auto paths = dijkstra(topo.physical_graph(), NodeId{1});
+  EXPECT_EQ(paths.distance_to(NodeId{2}), 2u);  // leaf-hub-leaf
+}
+
+TEST(SingleDomainShapes, Grid) {
+  const auto topo = single_domain_grid(3, 3);
+  EXPECT_EQ(topo.router_count(), 9u);
+  EXPECT_EQ(topo.link_count(), 12u);
+  const auto paths = dijkstra(topo.physical_graph(), NodeId{0});
+  EXPECT_EQ(paths.distance_to(NodeId{8}), 4u);  // manhattan distance
+}
+
+TEST(TransitStub, ShapeAndConnectivity) {
+  TransitStubParams params;
+  params.transit_domains = 3;
+  params.stubs_per_transit = 2;
+  params.seed = 7;
+  const auto topo = generate_transit_stub(params);
+  EXPECT_EQ(topo.domain_count(), 3u + 6u);
+  // Every router reachable from every other.
+  const auto comps = connected_components(topo.physical_graph());
+  EXPECT_EQ(comps.count, 1u);
+  // Stubs are flagged.
+  std::size_t stubs = 0;
+  for (const auto& d : topo.domains()) {
+    if (d.stub) ++stubs;
+  }
+  EXPECT_EQ(stubs, 6u);
+}
+
+TEST(TransitStub, DeterministicForSeed) {
+  TransitStubParams params;
+  params.seed = 42;
+  const auto a = generate_transit_stub(params);
+  const auto b = generate_transit_stub(params);
+  EXPECT_EQ(a.router_count(), b.router_count());
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+    EXPECT_EQ(a.links()[i].cost, b.links()[i].cost);
+  }
+}
+
+TEST(TransitStub, DifferentSeedsDiffer) {
+  TransitStubParams params;
+  params.seed = 1;
+  const auto a = generate_transit_stub(params);
+  params.seed = 2;
+  const auto b = generate_transit_stub(params);
+  // Same shape parameters but different wiring/costs somewhere.
+  bool differs = a.link_count() != b.link_count();
+  for (std::size_t i = 0; !differs && i < a.link_count(); ++i) {
+    differs = a.links()[i].cost != b.links()[i].cost ||
+              a.links()[i].a != b.links()[i].a;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TransitStub, StubsAreCustomersOfTransits) {
+  TransitStubParams params;
+  params.transit_domains = 2;
+  params.stubs_per_transit = 3;
+  params.multihoming_probability = 0.0;
+  params.seed = 5;
+  const auto topo = generate_transit_stub(params);
+  for (const auto& d : topo.domains()) {
+    if (!d.stub) continue;
+    ASSERT_EQ(d.peerings.size(), 1u);
+    EXPECT_EQ(d.peerings[0].relationship, Relationship::kProvider);
+    EXPECT_FALSE(topo.domain(d.peerings[0].neighbor).stub);
+  }
+}
+
+TEST(TransitStub, SingleTransitWorks) {
+  TransitStubParams params;
+  params.transit_domains = 1;
+  params.stubs_per_transit = 3;
+  params.seed = 3;
+  const auto topo = generate_transit_stub(params);
+  EXPECT_EQ(topo.domain_count(), 4u);
+  EXPECT_EQ(connected_components(topo.physical_graph()).count, 1u);
+}
+
+TEST(BarabasiAlbert, ConnectedAndScaleFreeIsh) {
+  BarabasiAlbertParams params;
+  params.domains = 40;
+  params.edges_per_new_domain = 2;
+  params.seed = 11;
+  const auto topo = generate_barabasi_albert(params);
+  EXPECT_EQ(topo.domain_count(), 40u);
+  EXPECT_EQ(connected_components(topo.physical_graph()).count, 1u);
+  // Preferential attachment: max domain degree well above the minimum.
+  std::size_t max_degree = 0;
+  for (const auto& d : topo.domains()) {
+    max_degree = std::max(max_degree, d.peerings.size());
+  }
+  EXPECT_GE(max_degree, 6u);
+}
+
+TEST(PopulateDomain, ConnectedRing) {
+  Topology topo;
+  const auto d = topo.add_domain("a");
+  sim::Rng rng{3};
+  IntraDomainParams params;
+  params.routers = 8;
+  params.chord_probability = 0.0;
+  populate_domain(topo, d, params, rng);
+  EXPECT_EQ(topo.router_count(), 8u);
+  EXPECT_EQ(topo.link_count(), 8u);  // pure ring
+  EXPECT_EQ(connected_components(topo.physical_graph()).count, 1u);
+}
+
+TEST(PopulateDomain, SingleRouterNoLinks) {
+  Topology topo;
+  const auto d = topo.add_domain("a");
+  sim::Rng rng{3};
+  IntraDomainParams params;
+  params.routers = 1;
+  populate_domain(topo, d, params, rng);
+  EXPECT_EQ(topo.link_count(), 0u);
+}
+
+TEST(PopulateDomain, TwoRoutersSingleLink) {
+  Topology topo;
+  const auto d = topo.add_domain("a");
+  sim::Rng rng{3};
+  IntraDomainParams params;
+  params.routers = 2;
+  populate_domain(topo, d, params, rng);
+  EXPECT_EQ(topo.link_count(), 1u);
+}
+
+TEST(AttachHosts, PrefersStubs) {
+  TransitStubParams params;
+  params.transit_domains = 2;
+  params.stubs_per_transit = 2;
+  params.seed = 9;
+  auto topo = generate_transit_stub(params);
+  sim::Rng rng{1};
+  attach_hosts(topo, 2, rng);
+  EXPECT_EQ(topo.host_count(), 8u);  // 4 stubs x 2 hosts
+  for (const auto& h : topo.hosts()) {
+    EXPECT_TRUE(topo.domain(topo.router(h.access_router).domain).stub);
+  }
+}
+
+TEST(AttachHosts, FallsBackWithoutStubs) {
+  BarabasiAlbertParams params;
+  params.domains = 5;
+  params.seed = 2;
+  auto topo = generate_barabasi_albert(params);
+  sim::Rng rng{1};
+  attach_hosts(topo, 1, rng);
+  EXPECT_EQ(topo.host_count(), 5u);  // every domain
+}
+
+}  // namespace
+}  // namespace evo::net

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "net/topology_gen.h"
+
+namespace evo::net {
+namespace {
+
+TEST(Waxman, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Topology topo;
+    const auto d = topo.add_domain("wax", /*stub=*/true);
+    sim::Rng rng{seed};
+    WaxmanParams params;
+    params.routers = 20;
+    params.alpha = 0.3;  // sparse: stitching must engage
+    params.beta = 0.15;
+    populate_domain_waxman(topo, d, params, rng);
+    EXPECT_EQ(topo.router_count(), 20u);
+    EXPECT_EQ(connected_components(topo.physical_graph()).count, 1u) << seed;
+  }
+}
+
+TEST(Waxman, DeterministicForSeed) {
+  auto build = [] {
+    Topology topo;
+    const auto d = topo.add_domain("wax");
+    sim::Rng rng{77};
+    populate_domain_waxman(topo, d, {}, rng);
+    return topo;
+  };
+  const auto a = build();
+  const auto b = build();
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].cost, b.links()[i].cost);
+  }
+}
+
+TEST(Waxman, DensityFollowsAlpha) {
+  auto count_links = [](double alpha) {
+    Topology topo;
+    const auto d = topo.add_domain("wax");
+    sim::Rng rng{5};
+    WaxmanParams params;
+    params.routers = 24;
+    params.alpha = alpha;
+    populate_domain_waxman(topo, d, params, rng);
+    return topo.link_count();
+  };
+  EXPECT_LT(count_links(0.2), count_links(0.9));
+}
+
+TEST(Waxman, CostsReflectDistance) {
+  Topology topo;
+  const auto d = topo.add_domain("wax");
+  sim::Rng rng{9};
+  WaxmanParams params;
+  params.routers = 16;
+  params.cost_scale = 10.0;
+  populate_domain_waxman(topo, d, params, rng);
+  // All costs in [1, ceil(sqrt(2)*10)].
+  for (const auto& link : topo.links()) {
+    EXPECT_GE(link.cost, 1u);
+    EXPECT_LE(link.cost, 15u);
+  }
+}
+
+TEST(Waxman, SingleRouterDegenerate) {
+  Topology topo;
+  const auto d = topo.add_domain("wax");
+  sim::Rng rng{1};
+  WaxmanParams params;
+  params.routers = 1;
+  populate_domain_waxman(topo, d, params, rng);
+  EXPECT_EQ(topo.router_count(), 1u);
+  EXPECT_EQ(topo.link_count(), 0u);
+}
+
+TEST(Waxman, TransitStubWithWaxmanInteriors) {
+  const auto topo = generate_transit_stub({.transit_domains = 2,
+                                           .stubs_per_transit = 2,
+                                           .waxman_interiors = true,
+                                           .seed = 77});
+  EXPECT_EQ(connected_components(topo.physical_graph()).count, 1u);
+  EXPECT_EQ(topo.domain_count(), 6u);
+}
+
+}  // namespace
+}  // namespace evo::net

@@ -1,0 +1,111 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace evo::sim {
+namespace {
+
+TimePoint at(std::int64_t ms) { return TimePoint::origin() + Duration::millis(ms); }
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&] { order.push_back(3); });
+  q.schedule(at(10), [&] { order.push_back(1); });
+  q.schedule(at(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(at(10), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule(at(10), [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleEventSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(10), [&] { order.push_back(1); });
+  auto mid = q.schedule(at(20), [&] { order.push_back(2); });
+  q.schedule(at(30), [&] { order.push_back(3); });
+  mid.cancel();
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto handle = q.schedule(at(10), [] {});
+  handle.cancel();
+  handle.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FiredEventNoLongerPending) {
+  EventQueue q;
+  auto handle = q.schedule(at(10), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto early = q.schedule(at(5), [] {});
+  q.schedule(at(50), [] {});
+  early.cancel();
+  EXPECT_EQ(q.next_time(), at(50));
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DefaultHandleNotPending) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<std::int64_t> popped;
+  for (int i = 999; i >= 0; --i) {
+    q.schedule(at(i), [] {});
+  }
+  while (!q.empty()) popped.push_back(q.pop().when.count_micros());
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+  EXPECT_EQ(popped.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace evo::sim

@@ -1,0 +1,101 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::sim {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, BasicStats) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, StdDevSample) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Summary, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(Summary, PercentileAfterInterleavedAdds) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1.0);  // forces re-sort
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Summary, ClearResets) {
+  Summary s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Summary, BriefFormatting) {
+  Summary s;
+  s.add(2.0);
+  const auto brief = s.brief();
+  EXPECT_NE(brief.find("n=1"), std::string::npos);
+  EXPECT_NE(brief.find("mean=2.000"), std::string::npos);
+}
+
+TEST(MetricRegistry, Counters) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.counter("x"), 0);
+  reg.increment("x");
+  reg.increment("x", 4);
+  EXPECT_EQ(reg.counter("x"), 5);
+}
+
+TEST(MetricRegistry, Summaries) {
+  MetricRegistry reg;
+  reg.observe("lat", 1.0);
+  reg.observe("lat", 3.0);
+  EXPECT_DOUBLE_EQ(reg.summary("lat").mean(), 2.0);
+  EXPECT_NE(reg.find_summary("lat"), nullptr);
+  EXPECT_EQ(reg.find_summary("missing"), nullptr);
+}
+
+TEST(MetricRegistry, ReportContainsAllNames) {
+  MetricRegistry reg;
+  reg.increment("packets", 7);
+  reg.observe("stretch", 1.5);
+  const auto report = reg.report();
+  EXPECT_NE(report.find("packets"), std::string::npos);
+  EXPECT_NE(report.find("stretch"), std::string::npos);
+}
+
+TEST(MetricRegistry, ClearResetsEverything) {
+  MetricRegistry reg;
+  reg.increment("a");
+  reg.observe("b", 1.0);
+  reg.clear();
+  EXPECT_EQ(reg.counter("a"), 0);
+  EXPECT_EQ(reg.find_summary("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace evo::sim

@@ -1,0 +1,56 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace evo::sim {
+namespace {
+
+TEST(Duration, Construction) {
+  EXPECT_EQ(Duration::zero().count_micros(), 0);
+  EXPECT_EQ(Duration::micros(5).count_micros(), 5);
+  EXPECT_EQ(Duration::millis(3).count_micros(), 3000);
+  EXPECT_EQ(Duration::seconds(2).count_micros(), 2'000'000);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).count_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).count_millis(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::millis(1) + Duration::micros(5), Duration::micros(1005));
+  EXPECT_EQ(Duration::millis(3) - Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(2) * 3, Duration::millis(6));
+  EXPECT_EQ(3 * Duration::millis(2), Duration::millis(6));
+  EXPECT_EQ(Duration::millis(6) / 2, Duration::millis(3));
+  Duration d = Duration::millis(1);
+  d += Duration::millis(2);
+  EXPECT_EQ(d, Duration::millis(3));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::micros(1), Duration::millis(1));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+}
+
+TEST(TimePoint, OriginAndAdvance) {
+  EXPECT_EQ(TimePoint::origin().count_micros(), 0);
+  const TimePoint t = TimePoint::origin() + Duration::millis(7);
+  EXPECT_EQ(t.count_micros(), 7000);
+  EXPECT_EQ(t - TimePoint::origin(), Duration::millis(7));
+}
+
+TEST(TimePoint, MaxIsSentinel) {
+  EXPECT_GT(TimePoint::max(), TimePoint::origin() + Duration::seconds(1'000'000));
+}
+
+TEST(TimeFormatting, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2s");
+  EXPECT_EQ(to_string(Duration::millis(3)), "3ms");
+  EXPECT_EQ(to_string(Duration::micros(7)), "7us");
+  EXPECT_EQ(to_string(TimePoint::origin() + Duration::millis(1500)), "1500ms");
+}
+
+}  // namespace
+}  // namespace evo::sim

@@ -1,0 +1,123 @@
+// §3.3.2's endhost route advertisement alternative: best-case egress,
+// per-host state, and fate-sharing fragility.
+#include <gtest/gtest.h>
+
+#include "core/evolvable_internet.h"
+#include "core/scenario.h"
+#include "core/trace.h"
+
+namespace evo::vnbone {
+namespace {
+
+using net::DomainId;
+using net::HostId;
+using net::NodeId;
+
+struct Fixture {
+  Fixture() : fig(core::make_figure3()) {
+    internet = std::make_unique<core::EvolvableInternet>(std::move(fig.topology));
+    internet->start();
+    internet->deploy_domain(fig.m);
+    internet->deploy_domain(fig.o);
+    internet->converge();
+  }
+
+  core::Figure3 fig;
+  std::unique_ptr<core::EvolvableInternet> internet;
+};
+
+TEST(EndhostRoutes, RegistrationFindsNearbyRouter) {
+  Fixture f;
+  const NodeId advertiser = core::register_endhost_route(*f.internet, f.fig.c);
+  ASSERT_TRUE(advertiser.valid());
+  // C's domain is legacy and hangs off O: the anycast-nearest IPvN router
+  // is in O.
+  EXPECT_EQ(f.internet->topology().router(advertiser).domain, f.fig.o);
+  EXPECT_EQ(f.internet->vnbone().endhost_route_count(), 1u);
+}
+
+TEST(EndhostRoutes, NativeHostsNeedNoRegistration) {
+  Fixture f;
+  // A is in deployed M: native address, nothing to register.
+  EXPECT_FALSE(core::register_endhost_route(*f.internet, f.fig.a).valid());
+  EXPECT_EQ(f.internet->vnbone().endhost_route_count(), 0u);
+}
+
+TEST(EndhostRoutes, GivesBestEgress) {
+  Fixture f;
+  core::register_endhost_route(*f.internet, f.fig.c);
+  const auto trace =
+      core::send_ipvn(*f.internet, f.fig.a, f.fig.c, EgressMode::kEndhostAdvertised);
+  ASSERT_TRUE(trace.delivered) << trace.describe();
+  // The egress is the router C registered with — at least as close to C
+  // as any egress the other modes could find.
+  const auto informed =
+      core::send_ipvn(*f.internet, f.fig.a, f.fig.c, EgressMode::kOwnPathKnowledge);
+  ASSERT_TRUE(informed.delivered);
+  EXPECT_LE(trace.legacy_tail_cost(), informed.legacy_tail_cost());
+}
+
+TEST(EndhostRoutes, UnregisteredDestinationUnroutable) {
+  Fixture f;
+  const auto trace =
+      core::send_ipvn(*f.internet, f.fig.a, f.fig.c, EgressMode::kEndhostAdvertised);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_EQ(trace.failure, core::EndToEndTrace::Failure::kVnRoutingFailed);
+}
+
+TEST(EndhostRoutes, FateSharingWithAdvertiser) {
+  // "this introduces a form of fate-sharing between an endhost and its
+  // route advertisement."
+  Fixture f;
+  const NodeId advertiser = core::register_endhost_route(*f.internet, f.fig.c);
+  ASSERT_TRUE(advertiser.valid());
+  ASSERT_TRUE(core::send_ipvn(*f.internet, f.fig.a, f.fig.c,
+                              EgressMode::kEndhostAdvertised)
+                  .delivered);
+  // The advertising router undeploys: the stale registration is dead even
+  // though other IPvN routers could serve.
+  f.internet->undeploy_router(advertiser);
+  f.internet->converge();
+  const auto stale = core::send_ipvn(*f.internet, f.fig.a, f.fig.c,
+                                     EgressMode::kEndhostAdvertised);
+  EXPECT_FALSE(stale.delivered);
+  // Other modes are unaffected (the design the paper adopts instead).
+  EXPECT_TRUE(core::send_ipvn(*f.internet, f.fig.a, f.fig.c,
+                              EgressMode::kOwnPathKnowledge)
+                  .delivered);
+  // Periodic re-registration recovers ("an endhost would periodically
+  // repeat this process").
+  const NodeId again = core::register_endhost_route(*f.internet, f.fig.c);
+  ASSERT_TRUE(again.valid());
+  EXPECT_NE(again, advertiser);
+  EXPECT_TRUE(core::send_ipvn(*f.internet, f.fig.a, f.fig.c,
+                              EgressMode::kEndhostAdvertised)
+                  .delivered);
+}
+
+TEST(EndhostRoutes, PerHostStateGrows) {
+  // The scheme's cost: one BGPvN entry per self-addressed host — exactly
+  // the state explosion the paper worries about ("it isn't clear how this
+  // would constrain the design space for routing and addressing").
+  net::Topology topo;
+  const auto deployer = topo.add_domain("deployer");
+  const auto stub = topo.add_domain("stub", /*stub=*/true);
+  const auto r0 = topo.add_router(deployer);
+  const auto r1 = topo.add_router(stub);
+  topo.add_interdomain_link(r0, r1, net::Relationship::kCustomer);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 10; ++i) hosts.push_back(topo.add_host(r1));
+  core::EvolvableInternet net(std::move(topo));
+  net.start();
+  net.deploy_domain(deployer);
+  net.converge();
+  for (const HostId h : hosts) {
+    EXPECT_TRUE(core::register_endhost_route(net, h).valid());
+  }
+  EXPECT_EQ(net.vnbone().endhost_route_count(), 10u);
+  net.vnbone().unregister_endhost_route(net.hosts().ipvn_address(hosts[0]));
+  EXPECT_EQ(net.vnbone().endhost_route_count(), 9u);
+}
+
+}  // namespace
+}  // namespace evo::vnbone
