@@ -34,9 +34,13 @@ StateCount count_state(EvolvableInternet& net) {
       rib.add(static_cast<double>(
           net.bgp().loc_rib_size(router.id, /*anycast_only=*/true)));
     }
-    const auto& f = net.network().fib(router.id);
-    fib.add(static_cast<double>(f.size_with_origin(net::RouteOrigin::kBgp) +
-                                f.size_with_origin(net::RouteOrigin::kAnycast)));
+    // One for_each walk counts both origins; no table copy, no second walk.
+    std::size_t routed = 0;
+    net.network().fib(router.id).for_each([&](const net::FibEntry& e) {
+      routed += e.origin == net::RouteOrigin::kBgp ||
+                e.origin == net::RouteOrigin::kAnycast;
+    });
+    fib.add(static_cast<double>(routed));
   }
   return StateCount{rib.mean(), fib.mean(), rib.max()};
 }

@@ -32,6 +32,9 @@ void evolution_run() {
     net->deploy_domain(domain.id);
     net->converge();
     ++epoch;
+    // verify_universal_access rides core::send_ipvn_batch (and
+    // compute_catchment below rides anycast::probe_batch), so each router's
+    // FIB is compiled at most once per adoption epoch across all probes.
     const auto report = core::verify_universal_access(*net, /*max_pairs=*/300);
     std::size_t native = 0;
     for (const auto& host : topo.hosts()) {

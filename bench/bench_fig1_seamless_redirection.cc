@@ -78,9 +78,13 @@ void scaled_sweep() {
     const anycast::ClosestMemberOracle oracle(net->topology(), group);
     sim::Summary dist;
     std::size_t delivered_count = 0;
-    for (const auto& router : net->topology().routers()) {
-      const auto probe =
-          anycast::probe(net->network(), group, router.id, oracle);
+    // Batched probe fan-out: one trace_batch under the hood, so each
+    // router's FIB is compiled at most once per deployment stage.
+    std::vector<NodeId> sources;
+    sources.reserve(net->topology().router_count());
+    for (const auto& router : net->topology().routers()) sources.push_back(router.id);
+    for (const auto& probe :
+         anycast::probe_batch(net->network(), group, sources, oracle)) {
       if (!probe.delivered()) continue;
       ++delivered_count;
       dist.add(static_cast<double>(probe.trace.cost));

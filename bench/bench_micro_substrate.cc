@@ -6,19 +6,21 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/evolvable_internet.h"
 #include "core/trace.h"
 #include "igp/distance_vector.h"
 #include "igp/link_state.h"
+#include "net/compiled_fib.h"
 #include "net/fib.h"
 #include "net/topology_gen.h"
 
 namespace evo {
 namespace {
 
-void BM_FibLookup(benchmark::State& state) {
-  const auto entries = static_cast<std::uint32_t>(state.range(0));
+/// `entries` /16 routes, the table shape BM_FibLookup has always used.
+net::Fib make_fib(std::uint32_t entries) {
   net::Fib fib;
   for (std::uint32_t i = 0; i < entries; ++i) {
     net::FibEntry e;
@@ -26,17 +28,67 @@ void BM_FibLookup(benchmark::State& state) {
     e.next_hop = net::NodeId{i};
     fib.insert(e);
   }
+  return fib;
+}
+
+/// Pre-generated probe addresses hitting random installed /16s. Generating
+/// addresses inside the timed loop serializes every iteration behind a
+/// 64-bit divide, which dominates and masks the actual lookup cost.
+std::vector<net::Ipv4Addr> make_probes(std::uint32_t entries) {
   sim::Rng rng{1};
-  std::uint64_t hits = 0;
-  for (auto _ : state) {
-    const auto addr = net::Ipv4Addr{static_cast<std::uint32_t>(
+  std::vector<net::Ipv4Addr> probes(4096);
+  for (auto& addr : probes) {
+    addr = net::Ipv4Addr{static_cast<std::uint32_t>(
         ((rng.next_u64() % entries + 1) << 16) | 7)};
-    hits += fib.lookup(addr) != nullptr;
+  }
+  return probes;
+}
+
+void BM_FibLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  const net::Fib fib = make_fib(entries);
+  const auto probes = make_probes(entries);
+  std::uint64_t hits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hits += fib.lookup(probes[i]) != nullptr;
+    i = (i + 1) & (probes.size() - 1);
   }
   benchmark::DoNotOptimize(hits);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FibLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CompiledFibLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  const net::Fib fib = make_fib(entries);
+  net::CompiledFib compiled;
+  compiled.compile(fib);
+  const auto probes = make_probes(entries);
+  std::uint64_t hits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hits += compiled.lookup(probes[i]) != nullptr;
+    i = (i + 1) & (probes.size() - 1);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledFibLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CompiledFibCompile(benchmark::State& state) {
+  // Recompile cost: what one route-epoch invalidation costs a router the
+  // next time the data plane touches it.
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  const net::Fib fib = make_fib(entries);
+  net::CompiledFib compiled;
+  for (auto _ : state) {
+    compiled.compile(fib);
+    benchmark::DoNotOptimize(compiled.range_count());
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_CompiledFibCompile)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_FibInsert(benchmark::State& state) {
   for (auto _ : state) {
@@ -77,6 +129,27 @@ void BM_DataPlaneTrace(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DataPlaneTrace);
+
+void BM_DataPlaneTraceBatch(benchmark::State& state) {
+  // All-pairs-from-corner probe fan-out through trace_batch: amortizes
+  // compiled-FIB freshness checks and result allocation across a sweep.
+  core::EvolvableInternet net(net::single_domain_grid(8, 8));
+  net.start();
+  const auto& routers = net.topology().domain(net::DomainId{0}).routers;
+  std::vector<net::Network::ProbeSpec> probes;
+  probes.reserve(routers.size());
+  for (const auto dst : routers) {
+    probes.push_back({.from = routers.front(),
+                      .dst = net.topology().router(dst).loopback});
+  }
+  for (auto _ : state) {
+    const auto traces = net.network().trace_batch(probes);
+    benchmark::DoNotOptimize(traces.back().cost);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(probes.size()));
+}
+BENCHMARK(BM_DataPlaneTraceBatch);
 
 void BM_LinkStateConvergence(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

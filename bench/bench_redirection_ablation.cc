@@ -47,23 +47,30 @@ void participation_sweep() {
   const auto& group = net->anycast().group(net->vnbone().anycast_group());
   const anycast::ClosestMemberOracle oracle(topo, group);
 
-  auto measure = [&](auto&& sender, const char* label) {
+  std::vector<core::HostPair> pairs;
+  for (const auto& src : hosts) {
+    for (const auto& dst : hosts) {
+      if (src.id != dst.id) pairs.push_back({src.id, dst.id});
+    }
+  }
+
+  // `batch_sender` maps the pair list to one EndToEndTrace per pair; the
+  // anycast arm rides core::send_ipvn_batch so FIB compilation is
+  // amortized across the sweep.
+  auto measure = [&](auto&& batch_sender, const char* label) {
     sim::Summary ingress_dist;
     sim::Summary optimal_dist;
     std::size_t delivered = 0;
-    std::size_t pairs = 0;
-    for (const auto& src : hosts) {
-      for (const auto& dst : hosts) {
-        if (src.id == dst.id) continue;
-        ++pairs;
-        const core::EndToEndTrace trace = sender(src.id, dst.id);
-        if (!trace.delivered) continue;
-        ++delivered;
-        ingress_dist.add(static_cast<double>(trace.segments.front().trace.cost));
-        optimal_dist.add(static_cast<double>(oracle.distance_from(src.access_router)));
-      }
+    const std::vector<core::EndToEndTrace> traces = batch_sender(pairs);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const core::EndToEndTrace& trace = traces[i];
+      if (!trace.delivered) continue;
+      ++delivered;
+      ingress_dist.add(static_cast<double>(trace.segments.front().trace.cost));
+      optimal_dist.add(static_cast<double>(
+          oracle.distance_from(topo.host(pairs[i].src).access_router)));
     }
-    bench::row("%-26s %zu/%-9zu %-16.2f %+.2f", label, delivered, pairs,
+    bench::row("%-26s %zu/%-9zu %-16.2f %+.2f", label, delivered, pairs.size(),
                ingress_dist.mean(), ingress_dist.mean() - optimal_dist.mean());
   };
 
@@ -78,13 +85,21 @@ void participation_sweep() {
     std::snprintf(label, sizeof label, "broker, %3.0f%% participation",
                   fraction * 100);
     measure(
-        [&](HostId s, HostId d) {
-          return redirect::send_ipvn_via_broker(*net, broker, s, d);
+        [&](const std::vector<core::HostPair>& batch) {
+          std::vector<core::EndToEndTrace> traces;
+          traces.reserve(batch.size());
+          for (const auto& [s, d] : batch) {
+            traces.push_back(redirect::send_ipvn_via_broker(*net, broker, s, d));
+          }
+          return traces;
         },
         label);
   }
-  measure([&](HostId s, HostId d) { return core::send_ipvn(*net, s, d); },
-          "anycast (network-level)");
+  measure(
+      [&](const std::vector<core::HostPair>& batch) {
+        return core::send_ipvn_batch(*net, batch);
+      },
+      "anycast (network-level)");
   bench::row(
       "claim: the broker needs broad ISP participation to approach anycast "
       "proximity, and anycast requires none — the incentive gap the paper "
@@ -118,24 +133,28 @@ void churn_sweep() {
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
     }
     net->converge();
-    std::size_t broker_failures = 0;
-    std::size_t anycast_failures = 0;
-    std::size_t pairs = 0;
+    std::vector<core::HostPair> pairs;
     for (const auto& src : hosts) {
       for (const auto& dst : hosts) {
-        if (src.id == dst.id) continue;
-        ++pairs;
-        if (!redirect::send_ipvn_via_broker(*net, broker, src.id, dst.id).delivered) {
-          ++broker_failures;
-        }
-        if (!core::send_ipvn(*net, src.id, dst.id).delivered) ++anycast_failures;
+        if (src.id != dst.id) pairs.push_back({src.id, dst.id});
       }
+    }
+    std::size_t broker_failures = 0;
+    std::size_t anycast_failures = 0;
+    for (const auto& [src, dst] : pairs) {
+      if (!redirect::send_ipvn_via_broker(*net, broker, src, dst).delivered) {
+        ++broker_failures;
+      }
+    }
+    for (const auto& trace : core::send_ipvn_batch(*net, pairs)) {
+      if (!trace.delivered) ++anycast_failures;
     }
     char broker_text[32];
     char anycast_text[32];
-    std::snprintf(broker_text, sizeof broker_text, "%zu/%zu", broker_failures, pairs);
+    std::snprintf(broker_text, sizeof broker_text, "%zu/%zu", broker_failures,
+                  pairs.size());
     std::snprintf(anycast_text, sizeof anycast_text, "%zu/%zu", anycast_failures,
-                  pairs);
+                  pairs.size());
     bench::row("%-24d %-18s %-18s", churn_events, broker_text, anycast_text);
   };
 

@@ -12,10 +12,10 @@ ClosestMemberOracle::ClosestMemberOracle(const net::Topology& topology,
   paths_ = net::dijkstra(graph, members);
 }
 
-Probe probe(const net::Network& network, const Group& group, NodeId source,
-            const ClosestMemberOracle& oracle) {
-  Probe result;
-  result.trace = network.trace(source, group.address);
+namespace {
+
+/// Fill in member/optimal/stretch for a probe whose trace is already set.
+void grade(Probe& result, const ClosestMemberOracle& oracle, NodeId source) {
   if (result.trace.delivered()) {
     result.member = result.trace.delivered_at;
   }
@@ -31,7 +31,33 @@ Probe probe(const net::Network& network, const Group& group, NodeId source,
                        static_cast<double>(result.optimal_cost);
     }
   }
+}
+
+}  // namespace
+
+Probe probe(const net::Network& network, const Group& group, NodeId source,
+            const ClosestMemberOracle& oracle) {
+  Probe result;
+  result.trace = network.trace(source, group.address);
+  grade(result, oracle, source);
   return result;
+}
+
+std::vector<Probe> probe_batch(const net::Network& network, const Group& group,
+                               std::span<const NodeId> sources,
+                               const ClosestMemberOracle& oracle) {
+  std::vector<net::Network::ProbeSpec> specs;
+  specs.reserve(sources.size());
+  for (const NodeId source : sources) {
+    specs.push_back({.from = source, .dst = group.address});
+  }
+  auto traces = network.trace_batch(specs);
+  std::vector<Probe> results(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    results[i].trace = std::move(traces[i]);
+    grade(results[i], oracle, sources[i]);
+  }
+  return results;
 }
 
 Probe probe(const net::Network& network, const Group& group, NodeId source) {
@@ -46,14 +72,19 @@ Catchment compute_catchment(const net::Network& network, const Group& group) {
   if (group.members.empty()) return catchment;
 
   const ClosestMemberOracle oracle(topo, group);
+  std::vector<net::NodeId> sources;
+  sources.reserve(topo.router_count());
+  for (const auto& router : topo.routers()) sources.push_back(router.id);
+
   std::size_t delivered = 0;
   std::size_t optimal = 0;
   double stretch_sum = 0.0;
-  for (const auto& router : topo.routers()) {
-    const Probe p = probe(network, group, router.id, oracle);
+  const auto probes = probe_batch(network, group, sources, oracle);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Probe& p = probes[i];
     if (!p.delivered()) continue;
     ++delivered;
-    catchment.member[router.id.value()] = p.member;
+    catchment.member[sources[i].value()] = p.member;
     if (p.member == p.optimal_member ||
         p.trace.cost == p.optimal_cost) {
       ++optimal;

@@ -6,6 +6,7 @@
 // used by experiments E1/E2/E6.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "anycast/anycast.h"
@@ -54,6 +55,14 @@ Probe probe(const net::Network& network, const Group& group, net::NodeId source,
 /// Convenience: builds a fresh oracle (prefer the explicit-oracle overload
 /// in loops).
 Probe probe(const net::Network& network, const Group& group, net::NodeId source);
+
+/// Probe the group from every source in one batch (Network::trace_batch
+/// underneath, so compiled-FIB compilation is amortized across sources).
+/// results[i] corresponds to sources[i] and is identical to what the
+/// per-source probe() would return.
+std::vector<Probe> probe_batch(const net::Network& network, const Group& group,
+                               std::span<const net::NodeId> sources,
+                               const ClosestMemberOracle& oracle);
 
 /// Catchment analysis: which member serves each router in the network.
 struct Catchment {

@@ -435,7 +435,10 @@ void BgpSystem::install_routes() {
 
     for (const NodeId r : domain.routers) {
       auto& fib = network_.fib(r);
-      fib.remove_origin(RouteOrigin::kBgp);
+      // Collected first, installed via replace_origins below: a sync that
+      // rederives the same BGP table leaves the route epoch (and thus the
+      // router's compiled forwarding state) untouched.
+      std::vector<FibEntry> routes;
       for (const Prefix prefix : prefixes) {
         // Never install a BGP route for our own aggregate: intra-domain
         // routing handles it.
@@ -493,16 +496,18 @@ void BgpSystem::install_routes() {
             continue;
           }
           if (!route.via_link.valid() || !topo.link(route.via_link).up) continue;
-          fib.insert(FibEntry{prefix, route.ebgp_next_hop, route.via_link,
-                              RouteOrigin::kBgp,
-                              static_cast<Cost>(route.as_path.size())});
+          routes.push_back(FibEntry{prefix, route.ebgp_next_hop, route.via_link,
+                                    RouteOrigin::kBgp,
+                                    static_cast<Cost>(route.as_path.size())});
         } else {
           const NodeId hop = igp ? igp->next_hop(r, chosen) : NodeId::invalid();
           if (!hop.valid()) continue;
           const LinkId out = connecting_link(r, hop);
-          fib.insert(FibEntry{prefix, hop, out, RouteOrigin::kBgp, chosen_cost});
+          routes.push_back(
+              FibEntry{prefix, hop, out, RouteOrigin::kBgp, chosen_cost});
         }
       }
+      fib.replace_origins({RouteOrigin::kBgp}, routes);
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,23 @@ const char* to_string(EndToEndTrace::Failure failure);
 EndToEndTrace send_ipvn(const EvolvableInternet& internet, net::HostId src,
                         net::HostId dst,
                         std::optional<vnbone::EgressMode> mode = std::nullopt);
+
+/// One src->dst probe of a batched send.
+struct HostPair {
+  net::HostId src;
+  net::HostId dst;
+};
+
+/// Send one IPvN datagram per pair through the full data path. The batch
+/// counterpart of send_ipvn: per-router compiled forwarding tables are
+/// compiled at most once per route epoch across the whole batch, so probe
+/// sweeps (benches, the universal-access verifier) pay compilation once
+/// instead of per packet. results[i] corresponds to pairs[i] and is
+/// identical to what send_ipvn(pairs[i]...) would return.
+std::vector<EndToEndTrace> send_ipvn_batch(const EvolvableInternet& internet,
+                                           std::span<const HostPair> pairs,
+                                           std::optional<vnbone::EgressMode> mode =
+                                               std::nullopt);
 
 /// Like send_ipvn but through a non-primary IP generation (its own
 /// vN-Bone, anycast group, and host addressing).

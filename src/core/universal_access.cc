@@ -11,7 +11,7 @@ UaReport verify_universal_access(const EvolvableInternet& internet,
   const std::size_t n = topo.host_count();
   if (n < 2) return report;
 
-  std::vector<std::pair<HostId, HostId>> pairs;
+  std::vector<HostPair> pairs;
   const std::size_t all = n * (n - 1);
   if (max_pairs == 0 || all <= max_pairs) {
     pairs.reserve(all);
@@ -38,9 +38,11 @@ UaReport verify_universal_access(const EvolvableInternet& internet,
   double cost_sum = 0.0;
   double stretch_sum = 0.0;
   std::size_t stretch_count = 0;
-  for (const auto& [src, dst] : pairs) {
+  const auto traces = send_ipvn_batch(internet, pairs);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [src, dst] = pairs[k];
+    const EndToEndTrace& trace = traces[k];
     ++report.pairs_checked;
-    const EndToEndTrace trace = send_ipvn(internet, src, dst);
     if (!trace.delivered) {
       report.failures.push_back(UaFailure{src, dst, trace.failure});
       continue;

@@ -311,17 +311,21 @@ void DistanceVectorIgp::schedule_periodic(NodeId router) {
 }
 
 void DistanceVectorIgp::install_fib(NodeId router) {
-  auto& fib = network_.fib(router);
-  fib.remove_origin(RouteOrigin::kIgp);
-  fib.remove_origin(RouteOrigin::kAnycast);
+  // Swap the whole DV-derived table in atomically; the Fib bumps its route
+  // epoch (invalidating the router's compiled forwarding table) only when
+  // this update actually changed a route.
+  std::vector<FibEntry> routes;
   const auto& st = state(router);
   for (const auto& [prefix, route] : st.table) {
     if (route.metric >= config_.infinity) continue;
     if (!route.next_hop.valid()) continue;  // connected routes already present
-    fib.insert(FibEntry{prefix, route.next_hop, route.out_link,
-                        route.anycast ? RouteOrigin::kAnycast : RouteOrigin::kIgp,
-                        route.metric});
+    routes.push_back(
+        FibEntry{prefix, route.next_hop, route.out_link,
+                 route.anycast ? RouteOrigin::kAnycast : RouteOrigin::kIgp,
+                 route.metric});
   }
+  network_.fib(router).replace_origins({RouteOrigin::kIgp, RouteOrigin::kAnycast},
+                                       routes);
 }
 
 }  // namespace evo::igp

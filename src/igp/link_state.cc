@@ -181,10 +181,11 @@ void LinkStateIgp::run_spf(NodeId router) {
   st.spf = net::dijkstra(graph, router);
   st.spf_valid = true;
 
-  auto& fib = network_.fib(router);
-  fib.remove_origin(RouteOrigin::kIgp);
-  fib.remove_origin(RouteOrigin::kAnycast);
-
+  // Accumulate the full IGP+anycast table, then swap it in with one
+  // replace_origins call: the Fib bumps its route epoch (invalidating the
+  // router's compiled forwarding table) only when this SPF run actually
+  // changed something.
+  std::vector<FibEntry> routes;
   const auto& topo = network_.topology();
 
   // Unicast routes to every other router in the LSDB.
@@ -201,9 +202,10 @@ void LinkStateIgp::run_spf(NodeId router) {
     }();
     const auto& r = topo.router(origin);
     const Cost metric = st.spf.distance_to(origin);
-    fib.insert(FibEntry{Prefix::host(r.loopback), hop, out, RouteOrigin::kIgp, metric});
-    fib.insert(FibEntry{net::Topology::router_subnet(r.domain, r.index_in_domain), hop,
-                        out, RouteOrigin::kIgp, metric});
+    routes.push_back(
+        FibEntry{Prefix::host(r.loopback), hop, out, RouteOrigin::kIgp, metric});
+    routes.push_back(FibEntry{net::Topology::router_subnet(r.domain, r.index_in_domain),
+                              hop, out, RouteOrigin::kIgp, metric});
   }
 
   // Anycast routes: pick the closest member (deterministic tiebreak on
@@ -233,9 +235,12 @@ void LinkStateIgp::run_spf(NodeId router) {
       }
       return LinkId::invalid();
     }();
-    fib.insert(
+    routes.push_back(
         FibEntry{Prefix::host(addr), hop, out, RouteOrigin::kAnycast, metric});
   }
+
+  network_.fib(router).replace_origins({RouteOrigin::kIgp, RouteOrigin::kAnycast},
+                                       routes);
 }
 
 }  // namespace evo::igp

@@ -33,7 +33,7 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
     drop(Network::TraceResult::Outcome::kTtlExpired, node, packet, on_dropped);
     return;
   }
-  const FibEntry* entry = network_.fib(node).lookup(dst);
+  const FibEntry* entry = network_.compiled_fib(node).lookup(dst);
   if (entry == nullptr || !entry->next_hop.valid()) {
     drop(Network::TraceResult::Outcome::kNoRoute, node, packet, on_dropped);
     return;

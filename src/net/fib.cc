@@ -1,6 +1,7 @@
 #include "net/fib.h"
 
 #include <functional>
+#include <unordered_map>
 
 namespace evo::net {
 
@@ -41,8 +42,10 @@ void Fib::insert(const FibEntry& entry) {
     if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
     node = node->child[b].get();
   }
+  if (node->entry && *node->entry == entry) return;  // no-op: keep the epoch
   if (!node->entry) ++size_;
   node->entry = entry;
+  ++epoch_;
 }
 
 bool Fib::remove(const Prefix& prefix) {
@@ -55,6 +58,7 @@ bool Fib::remove(const Prefix& prefix) {
   if (!node->entry) return false;
   node->entry.reset();
   --size_;
+  ++epoch_;
   // Dangling interior nodes are left in place; they are reclaimed on
   // clear(). This keeps remove() O(length) with no parent tracking.
   return true;
@@ -73,7 +77,40 @@ std::size_t Fib::remove_origin(RouteOrigin origin) {
     }
   };
   walk(root_.get());
+  if (removed > 0) ++epoch_;
   return removed;
+}
+
+void Fib::replace_origins(std::initializer_list<RouteOrigin> origins,
+                          std::span<const FibEntry> entries) {
+  const auto in_set = [&](RouteOrigin origin) {
+    for (const RouteOrigin o : origins) {
+      if (o == origin) return true;
+    }
+    return false;
+  };
+
+  // Desired table for these origins; a later duplicate prefix wins, exactly
+  // as repeated insert() calls would behave.
+  std::unordered_map<Prefix, const FibEntry*> desired;
+  desired.reserve(entries.size());
+  for (const FibEntry& e : entries) desired[e.prefix] = &e;
+
+  // No-op detection: every existing entry of these origins must appear in
+  // `desired` with identical contents, and the counts must match. When so,
+  // skip the rebuild and leave the epoch — compiled state stays valid.
+  std::size_t existing = 0;
+  bool identical = true;
+  for_each([&](const FibEntry& e) {
+    if (!in_set(e.origin)) return;
+    ++existing;
+    const auto it = desired.find(e.prefix);
+    if (it == desired.end() || !(*it->second == e)) identical = false;
+  });
+  if (identical && existing == desired.size()) return;
+
+  for (const RouteOrigin o : origins) remove_origin(o);
+  for (const FibEntry& e : entries) insert(e);
 }
 
 const FibEntry* Fib::lookup(Ipv4Addr addr) const {
@@ -97,33 +134,35 @@ const FibEntry* Fib::find(const Prefix& prefix) const {
   return node->entry ? &*node->entry : nullptr;
 }
 
-std::size_t Fib::size_with_origin(RouteOrigin origin) const {
-  std::size_t count = 0;
+void Fib::for_each(const std::function<void(const FibEntry&)>& fn) const {
+  // Pre-order DFS, child[0] before child[1]: yields entries sorted by
+  // address, with a covering (shorter) prefix before the prefixes nested
+  // inside it — the order CompiledFib's range sweep requires.
   std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
-    if (node->entry && node->entry->origin == origin) ++count;
+    if (node->entry) fn(*node->entry);
     for (const auto& child : node->child) {
       if (child) walk(child.get());
     }
   };
   walk(root_.get());
+}
+
+std::size_t Fib::size_with_origin(RouteOrigin origin) const {
+  std::size_t count = 0;
+  for_each([&](const FibEntry& e) { count += e.origin == origin; });
   return count;
 }
 
 std::vector<FibEntry> Fib::entries() const {
   std::vector<FibEntry> out;
   out.reserve(size_);
-  std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
-    if (node->entry) out.push_back(*node->entry);
-    for (const auto& child : node->child) {
-      if (child) walk(child.get());
-    }
-  };
-  walk(root_.get());
+  for_each([&](const FibEntry& e) { out.push_back(e); });
   return out;
 }
 
 void Fib::clear() {
   root_ = std::make_unique<TrieNode>();
+  if (size_ > 0) ++epoch_;
   size_ = 0;
 }
 

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,8 @@ struct FibEntry {
   LinkId out_link;  // invalid() for local delivery
   RouteOrigin origin = RouteOrigin::kStatic;
   Cost metric = 0;  // distance the producing protocol assigned
+
+  friend bool operator==(const FibEntry&, const FibEntry&) = default;
 };
 
 /// Binary-trie FIB with longest-prefix-match lookup.
@@ -56,6 +61,14 @@ class Fib {
   /// Remove every entry with the given origin; returns how many.
   std::size_t remove_origin(RouteOrigin origin);
 
+  /// Make the set of entries whose origin is in `origins` exactly equal to
+  /// `entries` (each of which must carry an origin from `origins`; a later
+  /// duplicate prefix wins). The route epoch is bumped only when the table
+  /// actually changes, so a control-plane sync that reinstalls an identical
+  /// table leaves compiled forwarding state valid.
+  void replace_origins(std::initializer_list<RouteOrigin> origins,
+                       std::span<const FibEntry> entries);
+
   /// Longest-prefix match; nullptr when no route covers `addr`.
   const FibEntry* lookup(Ipv4Addr addr) const;
 
@@ -65,10 +78,23 @@ class Fib {
   std::size_t size() const { return size_; }
   std::size_t size_with_origin(RouteOrigin origin) const;
 
-  /// All entries, in trie (prefix) order.
+  /// Visit every entry in trie (prefix) order — sorted by address, shorter
+  /// prefixes before the longer ones they contain — without materializing a
+  /// copy of the table (unlike entries()).
+  void for_each(const std::function<void(const FibEntry&)>& fn) const;
+
+  /// All entries, in trie (prefix) order. Copies the table; prefer
+  /// for_each() for counting or scanning.
   std::vector<FibEntry> entries() const;
 
   void clear();
+
+  /// Route epoch: starts at 1 and increases monotonically on every call
+  /// that actually changes table contents (insert of a new or different
+  /// entry, successful remove, non-empty remove_origin/clear, effective
+  /// replace_origins). Consumers such as CompiledFib cache a snapshot and
+  /// recompile only when the epoch moves.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// Multi-line diagnostic dump.
   std::string dump() const;
@@ -77,6 +103,7 @@ class Fib {
   struct TrieNode;
   std::unique_ptr<TrieNode> root_;
   std::size_t size_ = 0;
+  std::uint64_t epoch_ = 1;
 };
 
 }  // namespace evo::net

@@ -19,6 +19,8 @@ const char* to_string(Network::TraceResult::Outcome outcome) {
 Network::Network(Topology topology) : topology_(std::move(topology)) {
   fibs_.resize(topology_.router_count());
   local_addresses_.resize(topology_.router_count());
+  compiled_fibs_.resize(topology_.router_count());
+  visit_mark_.resize(topology_.router_count(), 0);
   install_connected_routes();
 }
 
@@ -45,6 +47,8 @@ void Network::install_connected_routes() {
   if (fibs_.size() < topology_.router_count()) {
     fibs_.resize(topology_.router_count());
     local_addresses_.resize(topology_.router_count());
+    compiled_fibs_.resize(topology_.router_count());
+    visit_mark_.resize(topology_.router_count(), 0);
   }
   for (const auto& router : topology_.routers()) {
     auto& fib = fibs_[router.id.value()];
@@ -56,35 +60,63 @@ void Network::install_connected_routes() {
   }
 }
 
+const CompiledFib& Network::compiled_fib(NodeId node) const {
+  CompiledFib& compiled = compiled_fibs_[node.value()];
+  const Fib& fib = fibs_[node.value()];
+  if (compiled.epoch() != fib.epoch()) {
+    compiled.compile(fib);
+    ++forwarding_stats_.fib_compiles;
+  } else {
+    ++forwarding_stats_.cache_hits;
+  }
+  return compiled;
+}
+
 Network::TraceResult Network::trace(NodeId from, Ipv4Addr dst,
                                     unsigned max_hops) const {
   TraceResult result;
-  result.hops.push_back(from);
+  trace_into(from, dst, max_hops, result);
+  return result;
+}
 
-  std::unordered_set<std::uint32_t> visited;
+void Network::trace_into(NodeId from, Ipv4Addr dst, unsigned max_hops,
+                         TraceResult& result) const {
+  result.outcome = TraceResult::Outcome::kNoRoute;
+  result.hops.clear();
+  result.delivered_at = NodeId::invalid();
+  result.cost = 0;
+  result.latency = {};
+  result.hops.push_back(from);
+  ++forwarding_stats_.traces;
+
+  // Loop detection via generation marking: one counter bump replaces a
+  // per-trace hash-set allocation.
+  const std::uint64_t gen = ++visit_gen_;
   NodeId current = from;
   for (unsigned hop = 0; hop <= max_hops; ++hop) {
     if (delivers_locally(current, dst)) {
       result.outcome = TraceResult::Outcome::kDelivered;
       result.delivered_at = current;
-      return result;
+      return;
     }
-    if (!visited.insert(current.value()).second) {
+    if (visit_mark_[current.value()] == gen) {
       result.outcome = TraceResult::Outcome::kForwardingLoop;
-      return result;
+      return;
     }
-    const FibEntry* entry = fibs_[current.value()].lookup(dst);
+    visit_mark_[current.value()] = gen;
+    const FibEntry* entry = compiled_fib(current).lookup(dst);
+    ++forwarding_stats_.lookups;
     if (entry == nullptr || !entry->next_hop.valid()) {
       // A local-delivery entry that didn't match delivers_locally means a
       // stale route; treat both as no-route.
       result.outcome = TraceResult::Outcome::kNoRoute;
-      return result;
+      return;
     }
     if (entry->out_link.valid()) {
       const Link& link = topology_.link(entry->out_link);
       if (!link.up) {
         result.outcome = TraceResult::Outcome::kLinkDown;
-        return result;
+        return;
       }
       result.cost += link.cost;
       result.latency += link.latency;
@@ -95,7 +127,26 @@ Network::TraceResult Network::trace(NodeId from, Ipv4Addr dst,
     result.hops.push_back(current);
   }
   result.outcome = TraceResult::Outcome::kTtlExpired;
-  return result;
+}
+
+std::vector<Network::TraceResult> Network::trace_batch(
+    std::span<const ProbeSpec> probes) const {
+  std::vector<TraceResult> results(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    trace_into(probes[i].from, probes[i].dst, probes[i].max_hops, results[i]);
+  }
+  return results;
+}
+
+void Network::export_forwarding_metrics(sim::MetricRegistry& metrics) const {
+  metrics.increment("net.forwarding.traces",
+                    static_cast<std::int64_t>(forwarding_stats_.traces));
+  metrics.increment("net.forwarding.lookups",
+                    static_cast<std::int64_t>(forwarding_stats_.lookups));
+  metrics.increment("net.forwarding.fib_compiles",
+                    static_cast<std::int64_t>(forwarding_stats_.fib_compiles));
+  metrics.increment("net.forwarding.cache_hits",
+                    static_cast<std::int64_t>(forwarding_stats_.cache_hits));
 }
 
 std::string Network::describe(const TraceResult& result) const {

@@ -3,16 +3,25 @@
 // The control plane (IGP, BGP, anycast advertisement) runs event-driven in
 // the simulator and *installs* routes here; tracing a packet is then a
 // synchronous FIB walk, cheap enough for millions of probes per benchmark.
+//
+// Forwarding is two-tier: each router's binary-trie Fib is the mutable
+// authoritative store, and a flat CompiledFib is compiled from it lazily
+// (per router, on first use after the Fib's route epoch moves) and consulted
+// on every trace hop. IGP SPF runs, DV updates, BGP installs and anycast
+// membership changes all invalidate transparently by bumping the epoch.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "net/compiled_fib.h"
 #include "net/fib.h"
 #include "net/packet.h"
 #include "net/topology.h"
+#include "sim/metrics.h"
 #include "sim/time.h"
 
 namespace evo::net {
@@ -60,9 +69,44 @@ class Network {
     std::size_t hop_count() const { return hops.empty() ? 0 : hops.size() - 1; }
   };
 
-  /// Walk FIBs from `from` toward `dst`. Deterministic and side-effect
-  /// free.
+  /// Walk FIBs from `from` toward `dst`. Deterministic and observably
+  /// side-effect free (internally it refreshes the per-router compiled
+  /// forwarding caches).
   TraceResult trace(NodeId from, Ipv4Addr dst, unsigned max_hops = 255) const;
+
+  /// Like trace(), but reuses `result`'s buffers — the allocation-free
+  /// form the batch API and hot probe loops build on.
+  void trace_into(NodeId from, Ipv4Addr dst, unsigned max_hops,
+                  TraceResult& result) const;
+
+  /// One probe of a batch: a packet injected at `from` toward `dst`.
+  struct ProbeSpec {
+    NodeId from;
+    Ipv4Addr dst;
+    unsigned max_hops = 255;
+  };
+
+  /// Trace every probe, amortizing compiled-FIB compilation across the
+  /// batch. results[i] corresponds to probes[i]; each result is identical
+  /// to what trace(probes[i]...) would return.
+  std::vector<TraceResult> trace_batch(std::span<const ProbeSpec> probes) const;
+
+  /// The compiled forwarding table for `node`, recompiled first if its
+  /// route epoch is stale. Valid until the next mutation of fib(node).
+  const CompiledFib& compiled_fib(NodeId node) const;
+
+  /// Data-plane counters: how the compiled forwarding tier behaves.
+  struct ForwardingStats {
+    std::uint64_t traces = 0;        // trace/trace_into invocations
+    std::uint64_t lookups = 0;       // per-hop LPM lookups
+    std::uint64_t fib_compiles = 0;  // CompiledFib rebuilds (epoch misses)
+    std::uint64_t cache_hits = 0;    // hops served by an already-fresh table
+  };
+  const ForwardingStats& forwarding_stats() const { return forwarding_stats_; }
+
+  /// Export the forwarding counters into `metrics` under
+  /// "net.forwarding.*" (traces, lookups, fib_compiles, cache_hits).
+  void export_forwarding_metrics(sim::MetricRegistry& metrics) const;
 
   std::string describe(const TraceResult& result) const;
 
@@ -70,6 +114,14 @@ class Network {
   Topology topology_;
   std::vector<Fib> fibs_;
   std::vector<std::unordered_set<Ipv4Addr>> local_addresses_;
+
+  // Lazily (re)compiled per-router forwarding tables plus the visited-node
+  // scratch for loop detection. Mutable: tracing is logically const but
+  // maintains these caches (the simulation is single-threaded).
+  mutable std::vector<CompiledFib> compiled_fibs_;
+  mutable std::vector<std::uint64_t> visit_mark_;
+  mutable std::uint64_t visit_gen_ = 0;
+  mutable ForwardingStats forwarding_stats_;
 };
 
 const char* to_string(Network::TraceResult::Outcome outcome);

@@ -84,7 +84,15 @@ class EventQueue {
     return Popped{top.when, std::move(top.fn)};
   }
 
-  void clear() { heap_ = {}; }
+  /// Drop every scheduled event. Outstanding EventHandles observe the
+  /// cancellation: pending() reports false afterwards, exactly as if each
+  /// event had been cancelled individually.
+  void clear() {
+    while (!heap_.empty()) {
+      *heap_.top().cancelled = true;
+      heap_.pop();
+    }
+  }
 
  private:
   struct Entry {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace evo::net {
 namespace {
 
@@ -130,6 +132,91 @@ TEST(Fib, ManyEntriesStress) {
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->next_hop, NodeId{i});
   }
+}
+
+TEST(Fib, ForEachVisitsEveryEntryOnce) {
+  Fib fib;
+  fib.insert(entry("10.0.0.0/8", 1));
+  fib.insert(entry("10.1.0.0/16", 2));
+  fib.insert(entry("192.168.0.0/16", 3));
+  std::size_t seen = 0;
+  std::uint32_t hop_sum = 0;
+  fib.for_each([&](const FibEntry& e) {
+    ++seen;
+    hop_sum += e.next_hop.value();
+  });
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(hop_sum, 6u);
+}
+
+TEST(Fib, EpochBumpsOnlyOnContentChange) {
+  Fib fib;
+  const auto e0 = fib.epoch();
+  fib.insert(entry("10.0.0.0/8", 1));
+  const auto e1 = fib.epoch();
+  EXPECT_GT(e1, e0);
+
+  // Re-inserting the identical entry is a no-op: epoch must not move.
+  fib.insert(entry("10.0.0.0/8", 1));
+  EXPECT_EQ(fib.epoch(), e1);
+
+  // Same prefix, different next hop: content change.
+  fib.insert(entry("10.0.0.0/8", 2));
+  const auto e2 = fib.epoch();
+  EXPECT_GT(e2, e1);
+
+  // Failed remove is a no-op.
+  fib.remove(*Prefix::parse("10.9.0.0/16"));
+  EXPECT_EQ(fib.epoch(), e2);
+  fib.remove(*Prefix::parse("10.0.0.0/8"));
+  const auto e3 = fib.epoch();
+  EXPECT_GT(e3, e2);
+
+  // remove_origin and clear on an empty table are no-ops.
+  fib.remove_origin(RouteOrigin::kIgp);
+  fib.clear();
+  EXPECT_EQ(fib.epoch(), e3);
+}
+
+TEST(Fib, ReplaceOriginsSwapsAtomically) {
+  Fib fib;
+  fib.insert(entry("10.0.0.0/16", 1, RouteOrigin::kIgp));
+  fib.insert(entry("10.1.0.0/16", 2, RouteOrigin::kIgp));
+  fib.insert(entry("192.168.0.0/16", 3, RouteOrigin::kConnected));
+
+  const std::vector<FibEntry> table = {
+      entry("10.2.0.0/16", 4, RouteOrigin::kIgp),
+      entry("10.3.0.0/16", 5, RouteOrigin::kAnycast),
+  };
+  fib.replace_origins({RouteOrigin::kIgp, RouteOrigin::kAnycast}, table);
+  EXPECT_EQ(fib.size(), 3u);
+  EXPECT_EQ(fib.lookup(Ipv4Addr{10, 0, 0, 1}), nullptr);
+  EXPECT_EQ(fib.lookup(Ipv4Addr{10, 2, 0, 1})->next_hop, NodeId{4});
+  EXPECT_EQ(fib.lookup(Ipv4Addr{10, 3, 0, 1})->next_hop, NodeId{5});
+  // Origins outside the replaced set survive untouched.
+  EXPECT_EQ(fib.lookup(Ipv4Addr{192, 168, 0, 1})->next_hop, NodeId{3});
+}
+
+TEST(Fib, ReplaceOriginsIdenticalTableKeepsEpoch) {
+  Fib fib;
+  fib.insert(entry("10.0.0.0/16", 1, RouteOrigin::kIgp));
+  fib.insert(entry("10.1.0.0/16", 2, RouteOrigin::kAnycast));
+  const auto before = fib.epoch();
+
+  fib.replace_origins({RouteOrigin::kIgp, RouteOrigin::kAnycast},
+                      std::vector<FibEntry>{
+                          entry("10.0.0.0/16", 1, RouteOrigin::kIgp),
+                          entry("10.1.0.0/16", 2, RouteOrigin::kAnycast),
+                      });
+  EXPECT_EQ(fib.epoch(), before);
+
+  // Dropping one entry is a real change even though the rest match.
+  fib.replace_origins({RouteOrigin::kIgp, RouteOrigin::kAnycast},
+                      std::vector<FibEntry>{
+                          entry("10.0.0.0/16", 1, RouteOrigin::kIgp),
+                      });
+  EXPECT_GT(fib.epoch(), before);
+  EXPECT_EQ(fib.lookup(Ipv4Addr{10, 1, 0, 1}), nullptr);
 }
 
 TEST(Fib, MoveSemantics) {

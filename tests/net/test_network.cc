@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "net/topology_gen.h"
 
 namespace evo::net {
@@ -155,6 +157,69 @@ TEST(Network, LatencyAccumulates) {
   const auto result = net.trace(r0, net.topology().router(r1).loopback);
   ASSERT_TRUE(result.delivered());
   EXPECT_EQ(result.latency, sim::Duration::millis(7));
+}
+
+TEST(Network, TraceBatchMatchesSingleTraces) {
+  Network net(single_domain_line(4, 2));
+  wire_line(net);
+  const auto& topo = net.topology();
+  const auto& routers = topo.domain(DomainId{0}).routers;
+  std::vector<Network::ProbeSpec> probes;
+  for (const NodeId from : routers) {
+    for (const NodeId to : routers) {
+      probes.push_back({.from = from, .dst = topo.router(to).loopback});
+    }
+  }
+  const auto batch = net.trace_batch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto single = net.trace(probes[i].from, probes[i].dst);
+    EXPECT_EQ(batch[i].outcome, single.outcome);
+    EXPECT_EQ(batch[i].delivered_at, single.delivered_at);
+    EXPECT_EQ(batch[i].cost, single.cost);
+    EXPECT_EQ(batch[i].hops, single.hops);
+    EXPECT_EQ(batch[i].latency, single.latency);
+  }
+}
+
+TEST(Network, CompiledFibRecompilesOnlyWhenEpochMoves) {
+  Network net(single_domain_line(3, 2));
+  wire_line(net);
+  const auto& topo = net.topology();
+  const auto& routers = topo.domain(DomainId{0}).routers;
+  const auto dst = topo.router(routers[2]).loopback;
+
+  net.trace(routers[0], dst);
+  const auto after_first = net.forwarding_stats();
+  EXPECT_GT(after_first.traces, 0u);
+  EXPECT_GT(after_first.lookups, 0u);
+  EXPECT_GT(after_first.fib_compiles, 0u);
+
+  // Same trace again: every FIB on the path is fresh, no recompiles.
+  net.trace(routers[0], dst);
+  const auto after_second = net.forwarding_stats();
+  EXPECT_EQ(after_second.fib_compiles, after_first.fib_compiles);
+  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
+
+  // Mutating one router's FIB invalidates exactly that router.
+  net.fib(routers[1]).insert(FibEntry{Prefix{Ipv4Addr{9, 0, 0, 0}, 8},
+                                      routers[0], LinkId{0},
+                                      RouteOrigin::kStatic, 1});
+  net.trace(routers[0], dst);
+  const auto after_third = net.forwarding_stats();
+  EXPECT_EQ(after_third.fib_compiles, after_second.fib_compiles + 1);
+}
+
+TEST(Network, ExportForwardingMetrics) {
+  Network net(single_domain_line(2, 2));
+  wire_line(net);
+  const auto& routers = net.topology().domain(DomainId{0}).routers;
+  net.trace(routers[0], net.topology().router(routers[1]).loopback);
+  sim::MetricRegistry metrics;
+  net.export_forwarding_metrics(metrics);
+  EXPECT_GT(metrics.counter("net.forwarding.traces"), 0);
+  EXPECT_GT(metrics.counter("net.forwarding.lookups"), 0);
+  EXPECT_GT(metrics.counter("net.forwarding.fib_compiles"), 0);
 }
 
 TEST(Network, DescribeIsHumanReadable) {

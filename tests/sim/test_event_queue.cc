@@ -88,6 +88,22 @@ TEST(EventQueue, ClearEmptiesQueue) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, ClearCancelsOutstandingHandles) {
+  // Regression: clear() used to discard the heap without marking entries
+  // cancelled, so handles kept reporting pending() == true forever.
+  EventQueue q;
+  auto first = q.schedule(at(1), [] {});
+  auto second = q.schedule(at(2), [] {});
+  ASSERT_TRUE(first.pending());
+  ASSERT_TRUE(second.pending());
+  q.clear();
+  EXPECT_FALSE(first.pending());
+  EXPECT_FALSE(second.pending());
+  first.cancel();  // still idempotent after clear()
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
 TEST(EventQueue, DefaultHandleNotPending) {
   EventHandle handle;
   EXPECT_FALSE(handle.pending());
