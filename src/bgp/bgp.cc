@@ -218,7 +218,25 @@ void BgpSystem::schedule_send(NodeId node) {
   });
 }
 
+bool BgpSystem::session_usable(const Session& session) const {
+  const auto& topo = network_.topology();
+  if (!topo.router(session.local).up || !topo.router(session.remote).up) {
+    return false;
+  }
+  // iBGP rides the intra-domain fabric; eBGP needs its physical link.
+  return !session.link.valid() || topo.link_usable(session.link);
+}
+
+std::vector<NodeId> BgpSystem::sorted_speakers() const {
+  std::vector<NodeId> out;
+  out.reserve(speakers_.size());
+  for (const auto& [value, st] : speakers_) out.push_back(NodeId{value});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void BgpSystem::flush_updates(NodeId node) {
+  if (!network_.topology().router(node).up) return;  // crashed: sends nothing
   auto& st = speaker(node);
   const auto dirty = std::move(st.dirty);
   st.dirty.clear();
@@ -226,7 +244,7 @@ void BgpSystem::flush_updates(NodeId node) {
     const auto best = st.loc_rib.find(prefix);
     for (const std::size_t si : st.sessions) {
       const Session& session = sessions_[si];
-      if (session.link.valid() && !network_.topology().link(session.link).up) continue;
+      if (!session_usable(session)) continue;
       Update update;
       update.prefix = prefix;
       if (best == st.loc_rib.end() || !exportable(st, best->second, session)) {
@@ -263,8 +281,8 @@ void BgpSystem::send(NodeId from, NodeId to, std::size_t session_index,
   ++messages_sent_;
   simulator_.schedule_after(latency, [this, from, to, session_index,
                                       update = std::move(update)] {
-    const Session& s = sessions_[session_index];
-    if (s.link.valid() && !network_.topology().link(s.link).up) return;
+    // Re-check at delivery: the session may have died in flight.
+    if (!session_usable(sessions_[session_index])) return;
     receive(to, from, session_index, update);
   });
 }
@@ -343,7 +361,7 @@ void BgpSystem::receive(NodeId local, NodeId from, std::size_t session_index,
 void BgpSystem::on_link_change(LinkId link_id) {
   const auto& link = network_.topology().link(link_id);
   if (!link.interdomain) return;
-  if (link.up) {
+  if (network_.topology().link_usable(link_id)) {
     // Sessions re-establish: both ends re-advertise their full Loc-RIBs.
     for (const NodeId end : {link.a, link.b}) {
       auto& st = speaker(end);
@@ -380,6 +398,81 @@ void BgpSystem::on_link_change(LinkId link_id) {
   }
 }
 
+void BgpSystem::on_node_change(NodeId node, bool up) {
+  if (!started_) return;
+  if (!up) {
+    // The crashed speaker loses all volatile RIB state; `originated` stays
+    // (it is configuration, restored below on recovery).
+    if (is_speaker(node)) {
+      auto& st = speaker(node);
+      st.adj_rib_in.clear();
+      st.loc_rib.clear();
+      st.adj_rib_out.clear();
+      st.dirty.clear();
+    }
+    // Peers hold down every session to the dead node and withdraw what
+    // they learned over those sessions.
+    for (const NodeId peer : sorted_speakers()) {
+      if (peer == node) continue;
+      auto& st = speaker(peer);
+      std::set<std::size_t> dead_sessions;
+      for (const std::size_t si : st.sessions) {
+        if (sessions_[si].remote == node) dead_sessions.insert(si);
+      }
+      if (dead_sessions.empty()) continue;
+      std::vector<Prefix> affected;
+      for (auto it = st.adj_rib_in.begin(); it != st.adj_rib_in.end();) {
+        if (dead_sessions.contains(it->first.second)) {
+          affected.push_back(it->first.first);
+          it = st.adj_rib_in.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = st.adj_rib_out.begin(); it != st.adj_rib_out.end();) {
+        if (dead_sessions.contains(it->second)) {
+          it = st.adj_rib_out.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const Prefix prefix : affected) decide(peer, prefix);
+    }
+  } else {
+    // Recovery: re-seed self-originated routes from configuration...
+    if (is_speaker(node)) {
+      auto& st = speaker(node);
+      for (const auto& [prefix, policy] : st.originated) {
+        Route route;
+        route.prefix = prefix;
+        route.as_path = {st.domain};
+        route.egress_router = node;
+        route.local_pref = local_pref_for(LearnedFrom::kSelf);
+        route.learned = LearnedFrom::kSelf;
+        route.no_export = policy.no_export;
+        route.propagation_ttl = policy.propagation_ttl;
+        route.anycast = policy.anycast;
+        st.adj_rib_in[{prefix, kSelfSession}] = route;
+        decide(node, prefix);
+        st.dirty.insert(prefix);
+      }
+      if (!st.dirty.empty()) schedule_send(node);
+    }
+    // ...and peers with a session to the restored speaker re-advertise
+    // their full Loc-RIBs toward it (session re-establishment).
+    for (const NodeId peer : sorted_speakers()) {
+      if (peer == node) continue;
+      auto& st = speaker(peer);
+      const bool has_session =
+          std::any_of(st.sessions.begin(), st.sessions.end(),
+                      [&](std::size_t si) { return sessions_[si].remote == node; });
+      if (!has_session || st.loc_rib.empty()) continue;
+      for (const auto& [prefix, route] : st.loc_rib) st.dirty.insert(prefix);
+      schedule_send(peer);
+    }
+  }
+}
+
 const Route* BgpSystem::best_route(NodeId node, Prefix prefix) const {
   if (!is_speaker(node)) return nullptr;
   const auto& st = speaker(node);
@@ -411,7 +504,7 @@ net::LinkId BgpSystem::connecting_link(NodeId a, NodeId b) const {
   Cost best_cost = net::kInfiniteCost;
   for (const LinkId link_id : topo.router(a).links) {
     const auto& link = topo.link(link_id);
-    if (!link.up || link.other_end(a) != b) continue;
+    if (!topo.link_usable(link_id) || link.other_end(a) != b) continue;
     if (link.cost < best_cost) {
       best = link_id;
       best_cost = link.cost;
@@ -495,7 +588,7 @@ void BgpSystem::install_routes() {
             // resolution above); kSelf means the prefix is ours — skip.
             continue;
           }
-          if (!route.via_link.valid() || !topo.link(route.via_link).up) continue;
+          if (!route.via_link.valid() || !topo.link_usable(route.via_link)) continue;
           routes.push_back(FibEntry{prefix, route.ebgp_next_hop, route.via_link,
                                     RouteOrigin::kBgp,
                                     static_cast<Cost>(route.as_path.size())});

@@ -75,6 +75,13 @@ class BgpSystem {
   /// up or go down and routes are re-evaluated.
   void on_link_change(net::LinkId link);
 
+  /// Notify that a router crashed (up=false) or recovered (up=true). A
+  /// crashed speaker loses all volatile RIB state (originations survive as
+  /// configuration); its peers withdraw everything learned from it. On
+  /// recovery the speaker re-seeds its self-originated routes and peers
+  /// re-advertise their Loc-RIBs toward it.
+  void on_node_change(net::NodeId node, bool up);
+
  private:
   struct Session {
     net::NodeId local;
@@ -140,6 +147,13 @@ class BgpSystem {
 
   void schedule_send(net::NodeId node);
   void flush_updates(net::NodeId node);
+
+  /// True when the session can carry updates right now: both speakers up
+  /// and (for eBGP) the underlying link usable.
+  bool session_usable(const Session& session) const;
+
+  /// Speakers sorted by NodeId, for deterministic fan-out order.
+  std::vector<net::NodeId> sorted_speakers() const;
 
   /// Total ordering on routes: true if `a` is preferred over `b`.
   static bool preferred(const Route& a, const Route& b);

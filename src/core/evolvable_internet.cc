@@ -81,14 +81,17 @@ void EvolvableInternet::start() {
 
 void EvolvableInternet::deploy_router(NodeId router) {
   vnbones_.front()->deploy_router(router);
+  schedule_control_sync();
 }
 
 void EvolvableInternet::deploy_domain(DomainId domain) {
   vnbones_.front()->deploy_domain(domain);
+  schedule_control_sync();
 }
 
 void EvolvableInternet::undeploy_router(NodeId router) {
   vnbones_.front()->undeploy_router(router);
+  schedule_control_sync();
 }
 
 std::uint64_t EvolvableInternet::converge() {
@@ -98,8 +101,7 @@ std::uint64_t EvolvableInternet::converge() {
   return events;
 }
 
-void EvolvableInternet::set_link_up(LinkId link, bool up) {
-  network_->topology().set_link_up(link, up);
+void EvolvableInternet::notify_link_change(LinkId link) {
   const auto& l = network_->topology().link(link);
   if (l.interdomain) {
     bgp_->on_link_change(link);
@@ -107,6 +109,35 @@ void EvolvableInternet::set_link_up(LinkId link, bool up) {
     const DomainId domain = network_->topology().router(l.a).domain;
     if (auto* igp = igps_[domain.value()].get()) igp->on_link_change(link);
   }
+}
+
+void EvolvableInternet::schedule_control_sync() {
+  if (!started_ || sync_pending_) return;
+  sync_pending_ = true;
+  simulator_.notify_on_idle([this] {
+    sync_pending_ = false;
+    bgp_->install_routes();
+    for (auto& vnbone : vnbones_) vnbone->rebuild();
+  });
+}
+
+bool EvolvableInternet::set_link_up(LinkId link, bool up) {
+  if (!network_->topology().set_link_up(link, up)) return false;  // no-op flap
+  notify_link_change(link);
+  schedule_control_sync();
+  return true;
+}
+
+bool EvolvableInternet::set_node_up(NodeId node, bool up) {
+  if (!network_->topology().set_node_up(node, up)) return false;
+  bgp_->on_node_change(node, up);
+  // Every administratively-up incident link just changed usability; IGPs
+  // (and BGP sessions riding those links) react as if the link flapped.
+  for (const LinkId link : network_->topology().router(node).links) {
+    if (network_->topology().link(link).up) notify_link_change(link);
+  }
+  schedule_control_sync();
+  return true;
 }
 
 }  // namespace evo::core

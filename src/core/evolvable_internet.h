@@ -75,8 +75,19 @@ class EvolvableInternet {
   /// rebuild the vN-Bone. Returns events processed.
   std::uint64_t converge();
 
-  /// Inject a link state change and propagate it to every protocol.
-  void set_link_up(net::LinkId link, bool up);
+  /// Inject a link state change and propagate it to every protocol (IGP or
+  /// BGP as appropriate). Also arms a coalesced control-plane sync at the
+  /// next simulator quiescence, so BGP FIB installation and vN-Bone
+  /// rebuild happen automatically — no manual converge()/rebuild() needed
+  /// (run the simulator to let reconvergence play out). Returns false for
+  /// a no-op flap (state unchanged: nothing notified).
+  bool set_link_up(net::LinkId link, bool up);
+
+  /// Crash (up=false) or recover (up=true) a router: BGP tears down /
+  /// re-establishes its sessions, IGPs see every incident link become
+  /// unusable/usable, and the vN-Bone drops/readmits the member at the
+  /// next sync. Returns false when the state did not change.
+  bool set_node_up(net::NodeId node, bool up);
 
   // --- accessors -----------------------------------------------------------
   sim::Simulator& simulator() { return simulator_; }
@@ -99,6 +110,13 @@ class EvolvableInternet {
   const Options& options() const { return options_; }
 
  private:
+  /// Route a link-state change to the protocol that owns the link.
+  void notify_link_change(net::LinkId link);
+
+  /// Arm a one-shot control-plane sync (BGP route installation + vN-Bone
+  /// rebuilds) at the next simulator quiescence; coalesces repeat calls.
+  void schedule_control_sync();
+
   Options options_;
   sim::Simulator simulator_;
   std::unique_ptr<net::Network> network_;
@@ -108,6 +126,7 @@ class EvolvableInternet {
   std::vector<std::unique_ptr<vnbone::VnBone>> vnbones_;
   std::vector<std::unique_ptr<host::HostStack>> host_stacks_;
   bool started_ = false;
+  bool sync_pending_ = false;
 };
 
 }  // namespace evo::core

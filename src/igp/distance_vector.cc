@@ -136,7 +136,7 @@ void DistanceVectorIgp::on_link_change(LinkId link_id) {
   if (network_.topology().router(link.a).domain != domain_) return;
   if (!started_) return;
 
-  if (!link.up) {
+  if (!network_.topology().link_usable(link_id)) {
     // Poison every route that used the dead link, then ask the remaining
     // neighbors for their tables so alternatives are relearned promptly.
     for (const NodeId end : {link.a, link.b}) {
@@ -182,14 +182,14 @@ void DistanceVectorIgp::send_update(NodeId router, bool full) {
   const auto& topo = network_.topology();
   for (const LinkId link_id : topo.router(router).links) {
     const auto& link = topo.link(link_id);
-    if (link.interdomain || !link.up) continue;
+    if (link.interdomain || !topo.link_usable(link_id)) continue;
     const NodeId neighbor = link.other_end(router);
     auto routes = routes_for(st, neighbor, full);
     if (routes.empty()) continue;
     ++messages_sent_;
     simulator_.schedule_after(
         link.latency, [this, neighbor, router, link_id, routes = std::move(routes)] {
-          if (network_.topology().link(link_id).up) {
+          if (network_.topology().link_usable(link_id)) {
             receive_update(neighbor, router, link_id, routes);
           }
         });
@@ -204,7 +204,7 @@ void DistanceVectorIgp::send_full_to(NodeId router, NodeId neighbor, LinkId link
   const auto& link = network_.topology().link(link_id);
   simulator_.schedule_after(
       link.latency, [this, neighbor, router, link_id, routes = std::move(routes)] {
-        if (network_.topology().link(link_id).up) {
+        if (network_.topology().link_usable(link_id)) {
           receive_update(neighbor, router, link_id, routes);
         }
       });
@@ -281,12 +281,12 @@ void DistanceVectorIgp::request_full_tables(NodeId router) {
   const auto& topo = network_.topology();
   for (const LinkId link_id : topo.router(router).links) {
     const auto& link = topo.link(link_id);
-    if (link.interdomain || !link.up) continue;
+    if (link.interdomain || !topo.link_usable(link_id)) continue;
     const NodeId neighbor = link.other_end(router);
     ++messages_sent_;
     // Round trip: the request travels one latency, the response another.
     simulator_.schedule_after(link.latency, [this, neighbor, router, link_id] {
-      if (network_.topology().link(link_id).up) {
+      if (network_.topology().link_usable(link_id)) {
         send_full_to(neighbor, router, link_id);
       }
     });

@@ -96,6 +96,28 @@ void LinkStateIgp::on_link_change(LinkId link) {
   if (started_) {
     originate(l.a);
     originate(l.b);
+    if (network_.topology().link_usable(link)) {
+      // Adjacency came up: exchange full databases across it (OSPF DB
+      // exchange). Without this, third-party LSAs that changed on the far
+      // side of a partition are never re-flooded — both sides already hold
+      // a (stale) copy whose sequence number blocks normal flooding.
+      sync_database(l.a, l.b, link);
+      sync_database(l.b, l.a, link);
+    }
+  }
+}
+
+void LinkStateIgp::sync_database(NodeId from, NodeId to, LinkId via) {
+  const auto& st = state(from);
+  const auto& topo = network_.topology();
+  const auto latency = topo.link(via).latency;
+  for (const auto& [origin, lsa] : st.lsdb) {
+    ++messages_sent_;
+    simulator_.schedule_after(latency, [this, to, lsa = lsa, via] {
+      if (network_.topology().link_usable(via)) {
+        receive(to, lsa, via);
+      }
+    });
   }
 }
 
@@ -107,7 +129,7 @@ void LinkStateIgp::originate(NodeId router) {
   const auto& topo = network_.topology();
   for (const LinkId link_id : topo.router(router).links) {
     const auto& link = topo.link(link_id);
-    if (link.interdomain || !link.up) continue;
+    if (link.interdomain || !topo.link_usable(link_id)) continue;
     lsa.adjacencies.push_back(
         LsaAdjacency{link.other_end(router), link.cost, link_id});
   }
@@ -135,12 +157,13 @@ void LinkStateIgp::flood(NodeId router, const Lsa& lsa, LinkId except) {
   for (const LinkId link_id : topo.router(router).links) {
     if (link_id == except) continue;
     const auto& link = topo.link(link_id);
-    if (link.interdomain || !link.up) continue;
+    if (link.interdomain || !topo.link_usable(link_id)) continue;
     const NodeId neighbor = link.other_end(router);
     ++messages_sent_;
     simulator_.schedule_after(link.latency, [this, neighbor, lsa, link_id] {
-      // Re-check at delivery: the link may have failed in flight.
-      if (network_.topology().link(link_id).up) {
+      // Re-check at delivery: the link (or an endpoint) may have failed
+      // in flight.
+      if (network_.topology().link_usable(link_id)) {
         receive(neighbor, lsa, link_id);
       }
     });

@@ -84,9 +84,13 @@ class LinkStateIgp final : public Igp {
   /// Process an LSA arriving at `router` via `via_link`.
   void receive(net::NodeId router, Lsa lsa, net::LinkId via_link);
 
-  /// Flood `lsa` from `router` on all up intra-domain links except
+  /// Flood `lsa` from `router` on all usable intra-domain links except
   /// `except` (the link it arrived on).
   void flood(net::NodeId router, const Lsa& lsa, net::LinkId except);
+
+  /// Send `from`'s entire LSDB to `to` over `via` (OSPF-style database
+  /// exchange when an adjacency comes up); re-floods whatever is newer.
+  void sync_database(net::NodeId from, net::NodeId to, net::LinkId via);
 
   void schedule_spf(net::NodeId router);
   void run_spf(net::NodeId router);

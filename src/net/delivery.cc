@@ -39,9 +39,10 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
     return;
   }
   sim::Duration latency = sim::Duration::millis(1);
-  if (entry->out_link.valid()) {
-    const Link& link = network_.topology().link(entry->out_link);
-    if (!link.up) {
+  const LinkId out_link = entry->out_link;
+  if (out_link.valid()) {
+    const Link& link = network_.topology().link(out_link);
+    if (!network_.topology().link_usable(out_link)) {
       drop(Network::TraceResult::Outcome::kLinkDown, node, packet, on_dropped);
       return;
     }
@@ -51,9 +52,18 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
   ++hops_forwarded_;
   const NodeId next = entry->next_hop;
   simulator_.schedule_after(
-      latency, [this, next, packet = std::move(packet), injected_at,
-                on_delivered = std::move(on_delivered),
+      latency, [this, node, next, out_link, packet = std::move(packet),
+                injected_at, on_delivered = std::move(on_delivered),
                 on_dropped = std::move(on_dropped)]() mutable {
+        // The link was usable when the packet departed, but it (or either
+        // endpoint) may have died while the packet was in flight. Re-check
+        // at arrival time — a packet cannot cross a link that no longer
+        // exists, and LSA flooding already models this (link_state.cc).
+        if (out_link.valid() && !network_.topology().link_usable(out_link)) {
+          drop(Network::TraceResult::Outcome::kLinkDown, node, packet,
+               on_dropped);
+          return;
+        }
         step(next, std::move(packet), injected_at, std::move(on_delivered),
              std::move(on_dropped));
       });

@@ -38,6 +38,7 @@ bool Network::has_local_address(NodeId node, Ipv4Addr addr) const {
 
 bool Network::delivers_locally(NodeId node, Ipv4Addr dst) const {
   const auto& router = topology_.router(node);
+  if (!router.up) return false;  // a crashed router delivers nothing
   if (router.loopback == dst) return true;
   if (local_addresses_[node.value()].contains(dst)) return true;
   return Topology::router_subnet(router.domain, router.index_in_domain).contains(dst);
@@ -114,7 +115,7 @@ void Network::trace_into(NodeId from, Ipv4Addr dst, unsigned max_hops,
     }
     if (entry->out_link.valid()) {
       const Link& link = topology_.link(entry->out_link);
-      if (!link.up) {
+      if (!topology_.link_usable(entry->out_link)) {
         result.outcome = TraceResult::Outcome::kLinkDown;
         return;
       }

@@ -1,6 +1,8 @@
 #include "net/topology.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace evo::net {
 
@@ -81,9 +83,26 @@ HostId Topology::add_host(NodeId access_router) {
   return id;
 }
 
-void Topology::set_link_up(LinkId link, bool up) {
-  assert(link.value() < links_.size());
-  links_[link.value()].up = up;
+bool Topology::set_link_up(LinkId link, bool up) {
+  if (!link.valid() || link.value() >= links_.size()) {
+    throw std::out_of_range("Topology::set_link_up: LinkId " +
+                            std::to_string(link.value()) + " out of range");
+  }
+  Link& l = links_[link.value()];
+  if (l.up == up) return false;
+  l.up = up;
+  return true;
+}
+
+bool Topology::set_node_up(NodeId node, bool up) {
+  if (!node.valid() || node.value() >= routers_.size()) {
+    throw std::out_of_range("Topology::set_node_up: NodeId " +
+                            std::to_string(node.value()) + " out of range");
+  }
+  Router& r = routers_[node.value()];
+  if (r.up == up) return false;
+  r.up = up;
+  return true;
 }
 
 std::optional<Relationship> Topology::relationship(DomainId domain,
@@ -125,7 +144,7 @@ std::optional<HostId> Topology::host_by_address(Ipv4Addr addr) const {
 Graph Topology::physical_graph() const {
   Graph g(routers_.size());
   for (const auto& link : links_) {
-    if (!link.up) continue;
+    if (!link_usable(link.id)) continue;
     g.add_undirected_edge(link.a, link.b, link.cost, link.id);
   }
   return g;
@@ -134,7 +153,7 @@ Graph Topology::physical_graph() const {
 Graph Topology::domain_graph(DomainId domain) const {
   Graph g(routers_.size());
   for (const auto& link : links_) {
-    if (!link.up || link.interdomain) continue;
+    if (!link_usable(link.id) || link.interdomain) continue;
     if (routers_[link.a.value()].domain != domain) continue;
     g.add_undirected_edge(link.a, link.b, link.cost, link.id);
   }
@@ -144,7 +163,7 @@ Graph Topology::domain_graph(DomainId domain) const {
 Graph Topology::domain_level_graph() const {
   Graph g(domains_.size());
   for (const auto& link : links_) {
-    if (!link.up || !link.interdomain) continue;
+    if (!link_usable(link.id) || !link.interdomain) continue;
     const auto da = routers_[link.a.value()].domain;
     const auto db = routers_[link.b.value()].domain;
     g.add_undirected_edge(NodeId{da.value()}, NodeId{db.value()}, 1, link.id);

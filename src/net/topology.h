@@ -60,6 +60,9 @@ struct Router {
   Ipv4Addr loopback;
   std::vector<LinkId> links;
   bool border = false;  // has at least one inter-domain link
+  /// False while the router is crashed: it forwards nothing, delivers
+  /// nothing locally, and every incident link is unusable.
+  bool up = true;
 };
 
 struct Peering {
@@ -104,7 +107,24 @@ class Topology {
 
   HostId add_host(NodeId access_router);
 
-  void set_link_up(LinkId link, bool up);
+  // --- failure primitives --------------------------------------------------
+  /// Set a link's administrative state. Returns whether the stored state
+  /// actually changed, so callers can skip reconvergence on no-op flaps.
+  /// Throws std::out_of_range for an invalid LinkId (checked in all build
+  /// types, not assert-only).
+  bool set_link_up(LinkId link, bool up);
+
+  /// Crash (up=false) or recover (up=true) a router. Returns whether the
+  /// stored state changed. Throws std::out_of_range for an invalid NodeId.
+  bool set_node_up(NodeId node, bool up);
+
+  /// A link carries traffic only when it is administratively up AND both
+  /// endpoint routers are up — the single predicate every consumer
+  /// (forwarding, flooding, session liveness, derived graphs) must use.
+  bool link_usable(LinkId link) const {
+    const Link& l = links_[link.value()];
+    return l.up && routers_[l.a.value()].up && routers_[l.b.value()].up;
+  }
 
   // --- accessors ----------------------------------------------------------
   std::size_t domain_count() const { return domains_.size(); }

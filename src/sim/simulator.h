@@ -3,10 +3,16 @@
 // A Simulator owns the virtual clock and the event queue. Protocol modules
 // schedule callbacks ("in 3ms, deliver this LSA to router 7"); run() fires
 // them in time order until quiescence, a time bound, or an event budget.
+//
+// Quiescence is itself observable: notify_on_idle() registers a one-shot
+// callback fired when the queue next drains. Failure injection uses this to
+// timestamp reconvergence and to let the control plane sync derived state
+// (FIB install, vN-Bone rebuild) exactly once per churn episode.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -36,6 +42,13 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Register a one-shot callback fired the next time the event queue
+  /// drains to empty during run()/run_until()/run_events(). Callbacks fire
+  /// in registration order at the then-current simulated time and may
+  /// schedule new events (processing continues afterwards). They do not
+  /// count toward events_processed().
+  void notify_on_idle(EventFn fn) { idle_callbacks_.push_back(std::move(fn)); }
+
   /// Run until no events remain. Returns the number of events processed.
   std::uint64_t run();
 
@@ -50,8 +63,13 @@ class Simulator {
   void reset();
 
  private:
+  /// Fire pending idle callbacks; returns true if any ran (they may have
+  /// scheduled new events).
+  bool fire_idle_callbacks();
+
   TimePoint now_ = TimePoint::origin();
   EventQueue queue_;
+  std::vector<EventFn> idle_callbacks_;
   std::uint64_t processed_ = 0;
 };
 

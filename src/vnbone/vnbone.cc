@@ -97,6 +97,35 @@ std::vector<NodeId> VnBone::deployed_routers_in(DomainId domain) const {
   return out;
 }
 
+bool VnBone::active(NodeId router) const {
+  return deployed_.contains(router) && network_.topology().router(router).up;
+}
+
+bool VnBone::domain_active(DomainId domain) const {
+  for (const NodeId r : deployed_) {
+    if (network_.topology().router(r).domain == domain && active(r)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> VnBone::active_routers() const {
+  std::vector<NodeId> out;
+  for (const NodeId r : deployed_) {
+    if (active(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<NodeId> VnBone::active_routers_in(DomainId domain) const {
+  std::vector<NodeId> out;
+  for (const NodeId r : deployed_) {
+    if (network_.topology().router(r).domain == domain && active(r)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
 std::vector<DomainId> VnBone::deployed_domains() const {
   std::vector<DomainId> out;
   for (const NodeId r : deployed_) {
@@ -139,7 +168,7 @@ void VnBone::rebuild() {
   // Added first: explicit configuration takes precedence over (and is not
   // absorbed by) the automatic rules.
   for (const auto& [a, b] : manual_tunnels_) {
-    if (!deployed(a) || !deployed(b)) continue;  // dormant until both deploy
+    if (!active(a) || !active(b)) continue;  // dormant until both deploy & up
     const auto paths = net::dijkstra(topo.physical_graph(), a);
     if (!paths.reachable(b)) continue;
     const bool interdomain = topo.router(a).domain != topo.router(b).domain;
@@ -150,8 +179,8 @@ void VnBone::rebuild() {
   // ---- congruence evolution: adopt physical links between members ------
   if (config_.congruent_evolution) {
     for (const auto& link : topo.links()) {
-      if (link.interdomain || !link.up) continue;
-      if (deployed(link.a) && deployed(link.b)) {
+      if (link.interdomain || !topo.link_usable(link.id)) continue;
+      if (active(link.a) && active(link.b)) {
         add_link(link.a, link.b, link.cost, false,
                  VirtualLink::Source::kCongruent);
       }
@@ -160,7 +189,7 @@ void VnBone::rebuild() {
 
   // ---- intra-domain: k closest neighbors, then partition repair --------
   for (const DomainId domain : domains) {
-    const auto members = deployed_routers_in(domain);
+    const auto members = active_routers_in(domain);
     igp::Igp* igp = igp_of_(domain);
     if (members.size() < 2 || igp == nullptr) continue;
 
@@ -250,9 +279,9 @@ void VnBone::rebuild() {
     for (const auto& peering : topo.domain(da).peerings) {
       const DomainId db = peering.neighbor;
       if (da >= db) continue;  // each pair once (peerings are symmetric)
-      if (!domain_deployed(db)) continue;
+      if (!domain_active(db)) continue;
       const auto& link = topo.link(peering.link);
-      if (!link.up) continue;
+      if (!topo.link_usable(peering.link)) continue;
       // Tunnel endpoints: each side's IPvN router closest (by IGP) to its
       // end of the physical peering link.
       const NodeId end_a =
@@ -262,7 +291,7 @@ void VnBone::rebuild() {
         igp::Igp* igp = igp_of_(domain);
         NodeId best = NodeId::invalid();
         Cost best_d = net::kInfiniteCost;
-        for (const NodeId m : deployed_routers_in(domain)) {
+        for (const NodeId m : active_routers_in(domain)) {
           const Cost d = (m == to) ? 0 : (igp ? igp->distance(m, to) : net::kInfiniteCost);
           if (d < best_d || (d == best_d && m < best)) {
             best = m;
@@ -294,14 +323,14 @@ void VnBone::rebuild() {
     const auto comps = net::connected_components(g);
     // The default component: the one holding the default domain's first
     // deployed router (default domain always has one: it deployed first).
-    const auto default_members = deployed_routers_in(default_domain_);
-    if (default_members.empty()) break;  // default fully undeployed: no anchor
+    const auto default_members = active_routers_in(default_domain_);
+    if (default_members.empty()) break;  // default fully dark: no anchor
     const std::uint32_t anchor = comps.label[default_members.front().value()];
 
-    // Find a stranded deployed router (lowest id for determinism).
+    // Find a stranded active router (lowest id for determinism).
     NodeId stranded = NodeId::invalid();
     for (const NodeId r : deployed_) {
-      if (comps.label[r.value()] != anchor && !hopeless.contains(r)) {
+      if (active(r) && comps.label[r.value()] != anchor && !hopeless.contains(r)) {
         stranded = r;
         break;
       }
@@ -317,6 +346,7 @@ void VnBone::rebuild() {
     NodeId target = NodeId::invalid();
     Cost target_d = net::kInfiniteCost;
     for (const NodeId m : deployed_) {
+      if (!active(m)) continue;
       if (comps.label[m.value()] == comps.label[stranded.value()]) continue;
       const Cost d = paths.distance_to(m);
       if (d < target_d || (d == target_d && m < target)) {
@@ -392,7 +422,7 @@ std::vector<DomainId> VnBone::legacy_path(DomainId domain, DomainId target) cons
 VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
                               std::optional<EgressMode> mode_override) const {
   VnRoute result;
-  if (!deployed(ingress)) return result;
+  if (!active(ingress)) return result;
   const auto& topo = network_.topology();
   const EgressMode mode = mode_override.value_or(config_.egress_mode);
   const Graph vgraph = virtual_graph();
@@ -424,14 +454,14 @@ VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
         home_domain.value() >= topo.domain_count()) {
       return result;
     }
-    if (deployed(home)) {
+    if (active(home)) {
       finish_at(home, /*legacy=*/false);
       return result;
     }
     igp::Igp* igp = igp_of_(home_domain);
     NodeId egress = NodeId::invalid();
     Cost egress_d = net::kInfiniteCost;
-    for (const NodeId r : deployed_routers_in(home_domain)) {
+    for (const NodeId r : active_routers_in(home_domain)) {
       const Cost d = igp ? igp->distance(r, home) : net::kInfiniteCost;
       if (d < egress_d || (d == egress_d && r < egress)) {
         egress = r;
@@ -465,7 +495,7 @@ VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
       const auto path = legacy_path(my_domain, *target_domain);
       DomainId chosen = DomainId::invalid();
       for (auto it = path.rbegin(); it != path.rend(); ++it) {  // nearest target first
-        if (domain_deployed(*it)) {
+        if (domain_active(*it)) {
           chosen = *it;
           break;
         }
@@ -477,7 +507,7 @@ VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
       // Within the chosen domain, use the vN-closest deployed router.
       NodeId egress = NodeId::invalid();
       Cost egress_d = net::kInfiniteCost;
-      for (const NodeId r : deployed_routers_in(chosen)) {
+      for (const NodeId r : active_routers_in(chosen)) {
         const Cost d = (r == ingress) ? 0 : paths.distance_to(r);
         if (d < egress_d || (d == egress_d && r < egress)) {
           egress = r;
@@ -495,7 +525,7 @@ VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
       // The destination must have registered; the route is only as alive
       // as its advertising router (fate-sharing).
       const auto advertiser = endhost_route(dst);
-      if (!advertiser || !deployed(*advertiser)) return result;  // no route
+      if (!advertiser || !active(*advertiser)) return result;  // no route
       finish_at(*advertiser, /*legacy=*/true);
       return result;
     }
@@ -508,7 +538,7 @@ VnBone::VnRoute VnBone::route(NodeId ingress, IpvNAddr dst,
       for (const DomainId d : deployed_domains()) {
         const Cost legacy_len = legacy_path_length(d, *target_domain);
         if (legacy_len == net::kInfiniteCost) continue;
-        for (const NodeId r : deployed_routers_in(d)) {
+        for (const NodeId r : active_routers_in(d)) {
           const Cost vn_d = (r == ingress) ? 0 : paths.distance_to(r);
           if (vn_d == net::kInfiniteCost) continue;
           const Cost score = vn_d + config_.as_hop_weight * legacy_len;

@@ -217,6 +217,15 @@ class VnBone {
   void ensure_group(net::DomainId first_domain);
   igp::Igp* igp_for_node(net::NodeId node) const;
 
+  /// A router participates in the vN-Bone only while deployed AND up: a
+  /// crashed member drops out of the virtual topology (and of egress
+  /// selection) until it recovers. Deployment itself is configuration and
+  /// survives the crash.
+  bool active(net::NodeId router) const;
+  bool domain_active(net::DomainId domain) const;
+  std::vector<net::NodeId> active_routers() const;
+  std::vector<net::NodeId> active_routers_in(net::DomainId domain) const;
+
   net::Network& network_;
   bgp::BgpSystem* bgp_;
   std::function<igp::Igp*(net::DomainId)> igp_of_;

@@ -1,0 +1,177 @@
+// In-flight failure semantics and the topology failure primitives.
+//
+// The regression of record: DeliveryEngine used to check link state only
+// at *send* time, so a packet already on the wire would cross a link that
+// died before it arrived. The fix re-checks at the arrival callback, the
+// way LSA flooding always has.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "igp/link_state.h"
+#include "net/delivery.h"
+#include "net/topology_gen.h"
+
+namespace evo::net {
+namespace {
+
+/// Line topology with a converged link-state IGP, so FIBs are populated.
+struct Fixture {
+  explicit Fixture(std::uint32_t routers, sim::Duration latency)
+      : network(make_topo(routers, latency)),
+        igp(simulator, network, DomainId{0}),
+        engine(simulator, network) {
+    igp.start();
+    simulator.run();
+  }
+
+  static Topology make_topo(std::uint32_t routers, sim::Duration latency) {
+    Topology topo;
+    const auto d = topo.add_domain("line", /*stub=*/true);
+    std::vector<NodeId> nodes;
+    for (std::uint32_t i = 0; i < routers; ++i) nodes.push_back(topo.add_router(d));
+    for (std::uint32_t i = 0; i + 1 < routers; ++i) {
+      topo.add_link(nodes[i], nodes[i + 1], 1, latency);
+    }
+    return topo;
+  }
+
+  Packet packet_to(NodeId dst, std::uint8_t ttl = 64) {
+    Packet p;
+    Ipv4Header h;
+    h.src = network.topology().router(NodeId{0}).loopback;
+    h.dst = network.topology().router(dst).loopback;
+    h.ttl = ttl;
+    p.push(HeaderLayer::ipv4(h));
+    return p;
+  }
+
+  sim::Simulator simulator;
+  Network network;
+  igp::LinkStateIgp igp;
+  DeliveryEngine engine;
+};
+
+// The regression window proper: with 5ms links on a 4-router line, the
+// last hop is *sent* at t=10ms and *arrives* at t=15ms. Killing the link
+// at t=12ms is after the send-time check has already passed — only the
+// arrival-time re-check can catch it.
+TEST(InFlightSemantics, LinkDeathAfterSendBeforeArrivalDrops) {
+  Fixture f(4, sim::Duration::millis(5));
+  bool dropped = false;
+  bool delivered = false;
+  f.engine.inject(
+      NodeId{0}, f.packet_to(NodeId{3}),
+      [&](NodeId, const Packet&, sim::Duration) { delivered = true; },
+      [&](Network::TraceResult::Outcome reason, NodeId at, const Packet&) {
+        dropped = true;
+        EXPECT_EQ(reason, Network::TraceResult::Outcome::kLinkDown);
+        EXPECT_EQ(at, NodeId{2});  // reported at the sender of the dead hop
+      });
+  f.simulator.schedule_after(sim::Duration::millis(12), [&] {
+    f.network.topology().set_link_up(LinkId{2}, false);
+  });
+  f.simulator.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.engine.packets_dropped(), 1u);
+}
+
+// Same window, but the *receiving router* crashes instead of the link: a
+// usable link needs both endpoints alive, so the packet is lost too.
+TEST(InFlightSemantics, NodeCrashAfterSendBeforeArrivalDrops) {
+  Fixture f(4, sim::Duration::millis(5));
+  bool dropped = false;
+  bool delivered = false;
+  f.engine.inject(
+      NodeId{0}, f.packet_to(NodeId{3}),
+      [&](NodeId, const Packet&, sim::Duration) { delivered = true; },
+      [&](Network::TraceResult::Outcome reason, NodeId, const Packet&) {
+        dropped = true;
+        EXPECT_EQ(reason, Network::TraceResult::Outcome::kLinkDown);
+      });
+  f.simulator.schedule_after(sim::Duration::millis(12), [&] {
+    f.network.topology().set_node_up(NodeId{3}, false);
+  });
+  f.simulator.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_FALSE(delivered);
+}
+
+// A flap that heals before the packet arrives must NOT drop it: the
+// arrival-time check sees a usable link again.
+TEST(InFlightSemantics, FlapHealedBeforeArrivalStillDelivers) {
+  Fixture f(4, sim::Duration::millis(5));
+  bool delivered = false;
+  f.engine.inject(
+      NodeId{0}, f.packet_to(NodeId{3}),
+      [&](NodeId, const Packet&, sim::Duration) { delivered = true; },
+      [&](Network::TraceResult::Outcome, NodeId, const Packet&) {
+        FAIL() << "dropped despite healed link";
+      });
+  f.simulator.schedule_after(sim::Duration::millis(11), [&] {
+    f.network.topology().set_link_up(LinkId{2}, false);
+  });
+  f.simulator.schedule_after(sim::Duration::millis(13), [&] {
+    f.network.topology().set_link_up(LinkId{2}, true);
+  });
+  f.simulator.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(FailurePrimitives, SetLinkUpReportsStateChanges) {
+  Topology topo = single_domain_line(3);
+  EXPECT_FALSE(topo.set_link_up(LinkId{0}, true));   // already up: no-op
+  EXPECT_TRUE(topo.set_link_up(LinkId{0}, false));   // changed
+  EXPECT_FALSE(topo.set_link_up(LinkId{0}, false));  // no-op again
+  EXPECT_TRUE(topo.set_link_up(LinkId{0}, true));
+}
+
+TEST(FailurePrimitives, SetLinkUpBoundsCheckedInAllBuilds) {
+  Topology topo = single_domain_line(3);
+  EXPECT_THROW(topo.set_link_up(LinkId{99}, false), std::out_of_range);
+  EXPECT_THROW(topo.set_link_up(LinkId::invalid(), false), std::out_of_range);
+}
+
+TEST(FailurePrimitives, SetNodeUpReportsAndBoundsChecks) {
+  Topology topo = single_domain_line(3);
+  EXPECT_FALSE(topo.set_node_up(NodeId{1}, true));
+  EXPECT_TRUE(topo.set_node_up(NodeId{1}, false));
+  EXPECT_FALSE(topo.router(NodeId{1}).up);
+  EXPECT_TRUE(topo.set_node_up(NodeId{1}, true));
+  EXPECT_THROW(topo.set_node_up(NodeId{99}, false), std::out_of_range);
+  EXPECT_THROW(topo.set_node_up(NodeId::invalid(), true), std::out_of_range);
+}
+
+TEST(FailurePrimitives, LinkUsableRequiresLinkAndBothEndpoints) {
+  Topology topo = single_domain_line(3);
+  EXPECT_TRUE(topo.link_usable(LinkId{0}));
+  topo.set_node_up(NodeId{1}, false);
+  EXPECT_FALSE(topo.link_usable(LinkId{0}));  // far end down
+  EXPECT_FALSE(topo.link_usable(LinkId{1}));  // near end down
+  EXPECT_TRUE(topo.link(LinkId{0}).up);       // administratively still up
+  topo.set_node_up(NodeId{1}, true);
+  EXPECT_TRUE(topo.link_usable(LinkId{0}));
+  topo.set_link_up(LinkId{0}, false);
+  EXPECT_FALSE(topo.link_usable(LinkId{0}));
+}
+
+TEST(FailurePrimitives, CrashedNodeDropsOutOfDerivedGraphsAndTraces) {
+  Fixture f(4, sim::Duration::millis(1));
+  auto& topo = f.network.topology();
+  topo.set_node_up(NodeId{2}, false);
+  // Derived graph: no edges touch the crashed router.
+  const Graph g = topo.physical_graph();
+  EXPECT_TRUE(g.neighbors(NodeId{2}).empty());
+  // Forwarding: the (stale) FIB still points through node 2; the trace
+  // reports the dead first link rather than crossing it.
+  const auto trace =
+      f.network.trace(NodeId{0}, topo.router(NodeId{3}).loopback);
+  EXPECT_EQ(trace.outcome, Network::TraceResult::Outcome::kLinkDown);
+  // A crashed router delivers nothing, even its own loopback.
+  EXPECT_FALSE(f.network.delivers_locally(NodeId{2},
+                                          topo.router(NodeId{2}).loopback));
+}
+
+}  // namespace
+}  // namespace evo::net
