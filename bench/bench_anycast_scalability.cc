@@ -8,10 +8,17 @@
 // must grow linearly in the group count at *every* router of the
 // Internet; Option 2 keeps remote routers' state flat (only member
 // domains carry per-group state in their IGP).
+//
+// Every (mode, #groups) point is an independent ParallelSweep cell that
+// builds its own Internet and deploys groups 0..n-1. Group g's membership
+// derives from a per-group splitmix64 stream, so all cells place group g
+// identically — the same property the old incremental sweep had, but with
+// no serial dependency between cells.
 #include "bench_util.h"
 
 #include "anycast/anycast.h"
 #include "sim/metrics.h"
+#include "sim/parallel.h"
 
 namespace evo {
 namespace {
@@ -19,6 +26,9 @@ namespace {
 using core::EvolvableInternet;
 using net::DomainId;
 using net::NodeId;
+
+constexpr std::uint64_t kTopologySeed = 5005;
+constexpr std::size_t kGroupCounts[] = {1, 2, 4, 8, 16, 32, 64};
 
 struct StateCount {
   double mean_rib = 0.0;
@@ -45,55 +55,81 @@ StateCount count_state(EvolvableInternet& net) {
   return StateCount{rib.mean(), fib.mean(), rib.max()};
 }
 
-void sweep(anycast::InterDomainMode mode) {
+/// Create group `index` with members in 3 domains drawn from the group's
+/// own deterministic stream (identical in every cell that deploys it).
+void create_group(EvolvableInternet& net, anycast::InterDomainMode mode,
+                  std::size_t index) {
+  const auto& domains = net.topology().domains();
+  std::uint64_t state = kTopologySeed ^ (0xA17Cu + index);
+  sim::Rng rng{sim::splitmix64(state)};
+  anycast::GroupConfig config;
+  config.mode = mode;
+  config.default_domain = domains[index % domains.size()].id;
+  const auto g = net.anycast().create_group(config);
+  const auto picks = rng.sample_indices(domains.size(), 3);
+  for (const auto d : picks) {
+    const auto& routers = domains[d].routers;
+    net.anycast().add_member(
+        g, routers[static_cast<std::size_t>(rng.uniform_int(
+               0, static_cast<std::int64_t>(routers.size()) - 1))]);
+  }
+}
+
+sim::CellResult run_cell(anycast::InterDomainMode mode, std::size_t n_groups) {
+  auto net = bench::make_internet({.transit_domains = 4,
+                                   .stubs_per_transit = 3,
+                                   .seed = kTopologySeed},
+                                  /*hosts_per_stub=*/0);
+  for (std::size_t g = 0; g < n_groups; ++g) create_group(*net, mode, g);
+  net->converge();
+  const auto state = count_state(*net);
+
+  sim::CellResult result;
+  bench::cell_row(result.text, "%-10zu %-16.2f %-16.2f %-14.0f", n_groups,
+                  state.mean_rib, state.mean_fib_anycast, state.max_rib);
+  result.metrics.observe("e5.mean_anycast_rib", state.mean_rib);
+  result.metrics.observe("e5.mean_route_fib", state.mean_fib_anycast);
+  result.metrics.observe("e5.max_anycast_rib", state.max_rib);
+  return result;
+}
+
+void sweep(anycast::InterDomainMode mode, const bench::Args& args,
+           bench::JsonWriter& json) {
   bench::subbanner(std::string("mode: ") + to_string(mode));
   bench::row("%-10s %-16s %-16s %-14s", "groups", "mean-anycast-rib",
              "mean-route-fib", "max-anycast-rib");
 
-  auto net = bench::make_internet({.transit_domains = 4,
-                                   .stubs_per_transit = 3,
-                                   .seed = 5005},
-                                  /*hosts_per_stub=*/0);
-  const auto& domains = net->topology().domains();
-  sim::Rng rng{55};
-
-  std::vector<net::GroupId> groups;
-  for (const std::size_t target : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    while (groups.size() < target) {
-      anycast::GroupConfig config;
-      config.mode = mode;
-      config.default_domain = domains[groups.size() % domains.size()].id;
-      const auto g = net->anycast().create_group(config);
-      groups.push_back(g);
-      // Each group gets members in 3 random domains, one router each.
-      const auto picks = rng.sample_indices(domains.size(), 3);
-      for (const auto d : picks) {
-        const auto& routers = domains[d].routers;
-        net->anycast().add_member(
-            g, routers[static_cast<std::size_t>(rng.uniform_int(
-                   0, static_cast<std::int64_t>(routers.size()) - 1))]);
-      }
-    }
-    net->converge();
-    const auto state = count_state(*net);
-    bench::row("%-10zu %-16.2f %-16.2f %-14.0f", target, state.mean_rib,
-               state.mean_fib_anycast, state.max_rib);
+  const std::size_t cells = std::size(kGroupCounts);
+  const sim::ParallelSweep sweep_pool(args.threads);
+  const auto results = sweep_pool.run(
+      cells, kTopologySeed, [mode](std::size_t cell, sim::Rng&) {
+        return run_cell(mode, kGroupCounts[cell]);
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%s", results[i].text.c_str());
+    char key[96];
+    std::snprintf(key, sizeof key, "e5.%s.groups_%zu.max_anycast_rib",
+                  to_string(mode), kGroupCounts[i]);
+    json.set(key, results[i].metrics.find_summary("e5.max_anycast_rib")->max());
   }
 }
 
 }  // namespace
 }  // namespace evo
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = evo::bench::parse_args(argc, argv);
   evo::bench::banner(
       "E5: routing state vs number of anycast groups (\"state grows in "
       "direct proportion to the number of anycast groups\")");
-  evo::sweep(evo::anycast::InterDomainMode::kGlobalRoutes);
-  evo::sweep(evo::anycast::InterDomainMode::kDefaultRoute);
+  evo::bench::JsonWriter json;
+  evo::sweep(evo::anycast::InterDomainMode::kGlobalRoutes, args, json);
+  evo::sweep(evo::anycast::InterDomainMode::kDefaultRoute, args, json);
   evo::bench::row(
       "claim: option 1 RIB/FIB state is linear in #groups at every router; "
       "option 2 keeps global state flat (no BGP origination), trading "
       "proximity for scalability. The paper also argues #groups stays tiny "
       "(one per IP generation) because ISPs, not endusers, consume them.");
+  if (!args.json_path.empty()) json.write(args.json_path);
   return 0;
 }

@@ -1,13 +1,21 @@
 // Experiment E9: substrate microbenchmarks (google-benchmark).
 //
-// FIB longest-prefix match, Dijkstra/SPF, trace throughput, and control
-// plane convergence (LS flooding, DV settling, BGP propagation) — the
-// costs that bound how large the scenario experiments can scale.
+// FIB longest-prefix match, Dijkstra/SPF, trace throughput, event-queue
+// schedule/fire, and control plane convergence (LS flooding, DV settling,
+// BGP propagation) — the costs that bound how large the scenario
+// experiments can scale.
+//
+// `--json <path>` additionally writes a flat {metric → value} artifact
+// (ns_per_op and items_per_sec per benchmark); BENCH_micro_substrate.json
+// at the repo root is the committed baseline of that output.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
+#include <queue>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/evolvable_internet.h"
 #include "core/trace.h"
 #include "igp/distance_vector.h"
@@ -15,6 +23,10 @@
 #include "net/compiled_fib.h"
 #include "net/fib.h"
 #include "net/topology_gen.h"
+#include "sim/event_queue.h"
+#include "sim/inplace_fn.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
 
 namespace evo {
 namespace {
@@ -104,6 +116,189 @@ void BM_FibInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_FibInsert);
+
+// ---------------------------------------------------------------------------
+// Event queue: calendar queue vs the heap it replaced.
+
+/// The pre-calendar EventQueue, kept verbatim as the performance baseline:
+/// one std::priority_queue entry + one type-erasure allocation + one
+/// shared_ptr<bool> cancellation flag per event.
+class RefHeapQueue {
+ public:
+  void schedule(sim::TimePoint when, std::function<void()> fn) {
+    heap_.push(Entry{when, next_seq_++, std::move(fn),
+                     std::make_shared<bool>(false)});
+  }
+  bool empty() const {
+    skim();
+    return heap_.empty();
+  }
+  struct Popped {
+    sim::TimePoint when;
+    std::function<void()> fn;
+  };
+  Popped pop() {
+    skim();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    *top.cancelled = true;
+    return Popped{top.when, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    sim::TimePoint when;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  void skim() const {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+  mutable std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Pseudorandom event delays, the hold-model's arrival process: mostly
+/// sub-horizon (link latencies, protocol timers), a tail of multi-second
+/// timers that exercises the calendar's overflow path.
+std::vector<sim::Duration> make_delays() {
+  sim::Rng rng{99};
+  std::vector<sim::Duration> delays(4096);
+  for (auto& d : delays) {
+    const auto us = rng.uniform_int(1, 50'000);          // up to 50ms
+    d = sim::Duration::micros(rng.bernoulli(0.01) ? us * 200 : us);
+  }
+  return delays;
+}
+
+/// Classic hold model: keep `hold` events pending; each iteration fires
+/// the earliest and schedules a replacement. Measures steady-state
+/// schedule+fire cost including the callback's type erasure.
+template <typename Queue>
+void schedule_fire_hold(benchmark::State& state) {
+  const auto hold = static_cast<std::size_t>(state.range(0));
+  const auto delays = make_delays();
+  Queue q;
+  std::uint64_t fired = 0;
+  sim::TimePoint now = sim::TimePoint::origin();
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < hold; ++k) {
+    q.schedule(now + delays[i++ & (delays.size() - 1)], [&fired] { ++fired; });
+  }
+  for (auto _ : state) {
+    auto popped = q.pop();
+    now = popped.when;
+    popped.fn();
+    q.schedule(now + delays[i++ & (delays.size() - 1)], [&fired] { ++fired; });
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  schedule_fire_hold<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RefHeapScheduleFire(benchmark::State& state) {
+  schedule_fire_hold<RefHeapQueue>(state);
+}
+BENCHMARK(BM_RefHeapScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  // Generation-compare cancellation: schedule + cancel + (dead) skim. The
+  // hold keeps the calendar populated so cancels hit realistic buckets.
+  sim::EventQueue q;
+  const auto delays = make_delays();
+  sim::TimePoint now = sim::TimePoint::origin();
+  std::size_t i = 0;
+  std::uint64_t fired = 0;
+  for (std::size_t k = 0; k < 1024; ++k) {
+    q.schedule(now + delays[i++ & (delays.size() - 1)], [&fired] { ++fired; });
+  }
+  for (auto _ : state) {
+    auto handle =
+        q.schedule(now + delays[i++ & (delays.size() - 1)], [&fired] { ++fired; });
+    handle.cancel();
+    auto popped = q.pop();
+    now = popped.when;
+    popped.fn();
+    q.schedule(now + delays[i++ & (delays.size() - 1)], [&fired] { ++fired; });
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancel);
+
+// ---------------------------------------------------------------------------
+// Callback type erasure: InplaceFn vs std::function for a capture that is
+// representative of protocol events (40 bytes: this-style pointer + ids).
+
+struct FatCapture {
+  std::uint64_t* sink;
+  std::uint64_t a, b, c, d;
+  void operator()() const { *sink += a + b + c + d; }
+};
+
+void BM_InplaceFnRoundTrip(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    sim::EventFn fn{FatCapture{&sink, ++i, 2, 3, 4}};
+    benchmark::DoNotOptimize(fn);  // forbid folding the erased dispatch away
+    fn();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InplaceFnRoundTrip);
+
+void BM_StdFunctionRoundTrip(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::function<void()> fn{FatCapture{&sink, ++i, 2, 3, 4}};
+    benchmark::DoNotOptimize(fn);
+    fn();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunctionRoundTrip);
+
+// ---------------------------------------------------------------------------
+// ParallelSweep: harness overhead and scaling on a real simulator cell.
+
+void BM_ParallelSweepCells(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const sim::ParallelSweep pool(threads);
+  for (auto _ : state) {
+    const auto results = pool.run(
+        8, /*sweep_seed=*/7, [](std::size_t, sim::Rng& rng) {
+          sim::Simulator simulator;
+          std::uint64_t acc = 0;
+          for (int burst = 0; burst < 64; ++burst) {
+            for (int e = 0; e < 64; ++e) {
+              simulator.schedule_after(
+                  sim::Duration::micros(rng.uniform_int(1, 20'000)),
+                  [&acc] { ++acc; });
+            }
+            simulator.run();
+          }
+          sim::CellResult result;
+          result.metrics.increment("events", static_cast<std::int64_t>(acc));
+          return result;
+        });
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 64 * 64);
+}
+BENCHMARK(BM_ParallelSweepCells)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_Dijkstra(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -238,7 +433,51 @@ void BM_EndToEndSend(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSend);
 
+/// ConsoleReporter that additionally records ns_per_op (and items_per_sec
+/// when SetItemsProcessed was used) for the --json artifact.
+class JsonRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRecordingReporter(bench::JsonWriter& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const std::string name = run.benchmark_name();
+      json_.set(name + ".ns_per_op", run.real_accumulated_time /
+                                         static_cast<double>(run.iterations) *
+                                         1e9);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        json_.set(name + ".items_per_sec", items->second.value);
+      }
+    }
+  }
+
+ private:
+  bench::JsonWriter& json_;
+};
+
 }  // namespace
 }  // namespace evo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json <path> (ours) before google-benchmark sees the rest.
+  std::string json_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string_view(*it) == "--json" && it + 1 != args.end()) {
+      json_path = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  evo::bench::JsonWriter json;
+  evo::JsonRecordingReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() && !json.write(json_path)) return 1;
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +15,59 @@
 #include "net/topology_gen.h"
 
 namespace evo::bench {
+
+/// Common bench command line: `--json <path>` emits a {metric → value}
+/// artifact, `--threads <n>` sizes the ParallelSweep pool (0 = all cores).
+struct Args {
+  std::string json_path;
+  unsigned threads = 0;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--threads <n>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Flat {metric → value} JSON artifact (BENCH_<name>.json): one number per
+/// metric, keys sorted, so committed baselines diff cleanly run-to-run.
+class JsonWriter {
+ public:
+  void set(const std::string& name, double value) { values_[name] = value; }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    std::size_t i = 0;
+    for (const auto& [name, value] : values_) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", name.c_str(), value,
+                   ++i < values_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %zu metrics to %s\n", values_.size(), path.c_str());
+    return true;
+  }
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::map<std::string, double> values_;
+};
 
 /// A transit-stub Internet with hosts, started and converged.
 inline std::unique_ptr<core::EvolvableInternet> make_internet(
@@ -35,6 +90,21 @@ inline void row(const char* fmt, ...) {
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// printf one table row into a sweep cell's text buffer instead of stdout;
+/// ParallelSweep cells must not print directly (output is emitted in cell
+/// order after the pool drains, keeping it byte-identical at any -j).
+inline void cell_row(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void cell_row(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
 }
 
 /// Section banner for a bench's output.

@@ -51,22 +51,24 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
   --packet.outer().v4.ttl;
   ++hops_forwarded_;
   const NodeId next = entry->next_hop;
-  simulator_.schedule_after(
-      latency, [this, node, next, out_link, packet = std::move(packet),
-                injected_at, on_delivered = std::move(on_delivered),
-                on_dropped = std::move(on_dropped)]() mutable {
-        // The link was usable when the packet departed, but it (or either
-        // endpoint) may have died while the packet was in flight. Re-check
-        // at arrival time — a packet cannot cross a link that no longer
-        // exists, and LSA flooding already models this (link_state.cc).
-        if (out_link.valid() && !network_.topology().link_usable(out_link)) {
-          drop(Network::TraceResult::Outcome::kLinkDown, node, packet,
-               on_dropped);
-          return;
-        }
-        step(next, std::move(packet), injected_at, std::move(on_delivered),
-             std::move(on_dropped));
-      });
+  auto continuation = [this, node, next, out_link, packet = std::move(packet),
+                       injected_at, on_delivered = std::move(on_delivered),
+                       on_dropped = std::move(on_dropped)]() mutable {
+    // The link was usable when the packet departed, but it (or either
+    // endpoint) may have died while the packet was in flight. Re-check
+    // at arrival time — a packet cannot cross a link that no longer
+    // exists, and LSA flooding already models this (link_state.cc).
+    if (out_link.valid() && !network_.topology().link_usable(out_link)) {
+      drop(Network::TraceResult::Outcome::kLinkDown, node, packet, on_dropped);
+      return;
+    }
+    step(next, std::move(packet), injected_at, std::move(on_delivered),
+         std::move(on_dropped));
+  };
+  // EventFn's inline buffer is sized for exactly this capture: per-hop
+  // scheduling must never heap-allocate the continuation.
+  static_assert(sizeof(continuation) <= sim::EventFn::inline_capacity);
+  simulator_.schedule_after(latency, std::move(continuation));
 }
 
 }  // namespace evo::net

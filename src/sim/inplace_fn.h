@@ -1,0 +1,122 @@
+// Small-buffer-optimized, move-only `void()` callable.
+//
+// std::function heap-allocates for any capture larger than ~2 pointers,
+// which puts two allocations (closure + control block) on every scheduled
+// event. InplaceFn stores the closure inline — the buffer is sized by the
+// template parameter so EventFn can be sized for the largest hot-path
+// capture (DeliveryEngine's forwarding continuation) — and only falls back
+// to the heap for oversized or throwing-move callables, which none of the
+// simulator's hot paths produce.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace evo::sim {
+
+template <std::size_t InlineBytes>
+class InplaceFn {
+ public:
+  static constexpr std::size_t inline_capacity = InlineBytes;
+
+  InplaceFn() = default;
+  InplaceFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InplaceFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InplaceFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InplaceFn(InplaceFn&& other) noexcept { move_from(other); }
+  InplaceFn& operator=(InplaceFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+  ~InplaceFn() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(buf_); }
+
+  /// Destroy the held callable (if any); *this becomes empty.
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// True if the held callable lives in the inline buffer (no heap). Empty
+  /// functions report false.
+  bool uses_inline_storage() const {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void destroy(void* p) noexcept { static_cast<F*>(p)->~F(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static constexpr VTable vtable{&invoke, &destroy, &relocate, true};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* ptr(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void destroy(void* p) noexcept { delete ptr(p); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(ptr(src));  // steal the pointer; nothing to destroy
+    }
+    static constexpr VTable vtable{&invoke, &destroy, &relocate, false};
+  };
+
+  template <typename F0>
+  void emplace(F0&& f) {
+    using F = std::remove_cvref_t<F0>;
+    if constexpr (sizeof(F) <= InlineBytes &&
+                  alignof(F) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<F>) {
+      ::new (static_cast<void*>(buf_)) F(std::forward<F0>(f));
+      vtable_ = &InlineOps<F>::vtable;
+    } else {
+      ::new (static_cast<void*>(buf_)) F*(new F(std::forward<F0>(f)));
+      vtable_ = &HeapOps<F>::vtable;
+    }
+  }
+
+  void move_from(InplaceFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[InlineBytes];
+};
+
+}  // namespace evo::sim

@@ -50,9 +50,12 @@ double Summary::percentile(double p) const {
 }
 
 std::string Summary::brief() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "n=%zu mean=%.3f p50=%.3f p95=%.3f max=%.3f",
-                count(), mean(), percentile(50), percentile(95), max());
+  // Consecutive percentile calls reuse one sort: ensure_sorted() caches and
+  // add() invalidates (regression-tested in test_metrics.cc).
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f", count(),
+                mean(), percentile(50), percentile(95), percentile(99), max());
   return buf;
 }
 

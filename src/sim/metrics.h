@@ -37,12 +37,19 @@ class Summary {
 
   const std::vector<double>& samples() const { return samples_; }
 
+  /// Append every sample of `other` (in its current order) to this summary.
+  void append(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
   void clear() {
     samples_.clear();
     sorted_ = false;
   }
 
-  /// "n=5 mean=2.1 p50=2.0 p95=4.0 max=4.0"
+  /// "n=5 mean=2.1 p50=2.0 p95=4.0 p99=4.0 max=4.0". Sweep tails are the
+  /// interesting part under failure injection, hence p99 alongside p95.
   std::string brief() const;
 
  private:
@@ -75,6 +82,15 @@ class MetricRegistry {
 
   const std::map<std::string, std::int64_t>& counters() const { return counters_; }
   const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  /// Fold `other` into this registry: counters are summed, summary samples
+  /// appended. Used to merge per-cell registries of a parallel sweep.
+  void merge_from(const MetricRegistry& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+    for (const auto& [name, summary] : other.summaries_) {
+      summaries_[name].append(summary);
+    }
+  }
 
   void clear() {
     counters_.clear();

@@ -1,0 +1,59 @@
+// Deterministic parallel execution of independent sweep cells.
+//
+// A "cell" is one point of an experiment's parameter sweep: it builds its
+// own Simulator, MetricRegistry, and topology from a cell-specific seed,
+// runs, and returns rendered rows plus metrics. Cells share no mutable
+// state, so the harness can run them on a thread pool; results are merged
+// in cell-index order, making output byte-identical regardless of thread
+// count (a 1-thread run IS the serial run).
+//
+// Per-cell seeds are derived with splitmix64 from (sweep seed, cell index),
+// so a cell's random stream does not depend on which thread picks it up or
+// on how many cells ran before it — the property that makes parallel
+// sweeps reproducible (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/random.h"
+
+namespace evo::sim {
+
+/// What one sweep cell produces.
+struct CellResult {
+  std::string text;        // rendered table rows, printed in cell order
+  MetricRegistry metrics;  // per-cell metrics, merged in cell order
+};
+
+class ParallelSweep {
+ public:
+  using CellFn = std::function<CellResult(std::size_t cell, Rng& rng)>;
+
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ParallelSweep(unsigned threads = 0);
+
+  /// The deterministic seed for cell `cell` of a sweep keyed by `sweep_seed`.
+  static std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t cell);
+
+  /// Run `fn` for every cell in [0, cells), distributing cells over the
+  /// pool; results are returned in cell order. If a cell throws, the first
+  /// exception (in cell order) is rethrown after all workers finish.
+  std::vector<CellResult> run(std::size_t cells, std::uint64_t sweep_seed,
+                              const CellFn& fn) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+/// Fold every cell's registry into one, in cell order: counters are summed,
+/// summary samples appended. Sample order within a summary is cell-major,
+/// so the merged registry is identical for any thread count.
+MetricRegistry merge_metrics(const std::vector<CellResult>& cells);
+
+}  // namespace evo::sim

@@ -63,8 +63,8 @@ std::uint64_t Simulator::run_events(std::uint64_t max_events) {
 
 void Simulator::reset() {
   now_ = TimePoint::origin();
-  // EventQueue::clear also invalidates outstanding handles lazily.
-  while (!queue_.empty()) queue_.pop();
+  // EventQueue::clear also invalidates outstanding handles.
+  queue_.clear();
   idle_callbacks_.clear();
   processed_ = 0;
 }

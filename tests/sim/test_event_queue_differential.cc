@@ -1,0 +1,186 @@
+// Differential test: the calendar EventQueue against a straightforward
+// reference heap, over randomized schedule/cancel/clear/pop traces. The
+// reference implements the queue's contract directly — (when, seq) FIFO
+// order, lazy cancellation — so any divergence is a calendar bug (bucket
+// rotation, overflow redistribution, generation handling, ...).
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace evo::sim {
+namespace {
+
+/// Reference model: binary heap of (when, seq, id) with a cancelled set.
+class ReferenceQueue {
+ public:
+  void schedule(TimePoint when, int id) {
+    heap_.push(Entry{when, next_seq_++, id});
+    cancelled_.push_back(false);
+  }
+  void cancel(std::size_t schedule_index) {
+    cancelled_[schedule_index] = true;
+  }
+  void clear() {
+    while (!heap_.empty()) {
+      cancelled_[heap_.top().seq] = true;
+      heap_.pop();
+    }
+  }
+  bool empty() const {
+    skim();
+    return heap_.empty();
+  }
+  std::size_t size() const {
+    std::size_t live = 0;
+    for (auto held : held_seqs()) live += !cancelled_[held];
+    return live;
+  }
+  TimePoint next_time() const {
+    skim();
+    return heap_.empty() ? TimePoint::max() : heap_.top().when;
+  }
+  struct Popped {
+    TimePoint when;
+    int id;
+  };
+  Popped pop() {
+    skim();
+    const Entry top = heap_.top();
+    heap_.pop();
+    cancelled_[top.seq] = true;
+    return Popped{top.when, top.id};
+  }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    int id = 0;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<std::uint64_t> held_seqs() const {
+    // Only used by size(): copy the heap and drain it.
+    std::vector<std::uint64_t> seqs;
+    auto copy = heap_;
+    while (!copy.empty()) {
+      seqs.push_back(copy.top().seq);
+      copy.pop();
+    }
+    return seqs;
+  }
+  void skim() const {
+    while (!heap_.empty() && cancelled_[heap_.top().seq]) heap_.pop();
+  }
+  mutable std::priority_queue<Entry> heap_;
+  std::vector<bool> cancelled_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Draw an event time: clustered near `now` (same-bucket and near-future),
+/// with tails into far buckets and the overflow horizon, plus exact
+/// duplicates to exercise FIFO ties.
+TimePoint draw_when(Rng& rng, TimePoint now, std::optional<TimePoint> previous) {
+  const double roll = rng.uniform();
+  if (roll < 0.15 && previous) return *previous;  // equal-time FIFO tie
+  if (roll < 0.55) return now + Duration::micros(rng.uniform_int(0, 2'000));
+  if (roll < 0.85) return now + Duration::micros(rng.uniform_int(0, 200'000));
+  // Beyond the 256-bucket x 1024us horizon: the overflow path.
+  return now + Duration::micros(rng.uniform_int(260'000, 30'000'000));
+}
+
+TEST(EventQueueDifferential, RandomTracesMatchReferenceHeap) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull, 99999ull}) {
+    Rng rng{seed};
+    EventQueue queue;
+    ReferenceQueue reference;
+    std::vector<EventHandle> handles;
+    std::vector<int> fired;  // ids in calendar pop order
+    TimePoint now = TimePoint::origin();
+    std::optional<TimePoint> previous;
+    int next_id = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+      const double roll = rng.uniform();
+      if (roll < 0.45) {
+        const TimePoint when = draw_when(rng, now, previous);
+        previous = when;
+        const int id = next_id++;
+        handles.push_back(queue.schedule(when, [id, &fired] { fired.push_back(id); }));
+        reference.schedule(when, id);
+      } else if (roll < 0.60 && !handles.empty()) {
+        // Cancel a random earlier schedule (idempotent on repeats and on
+        // already-fired events in both implementations).
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+        handles[pick].cancel();
+        reference.cancel(pick);
+      } else if (roll < 0.61) {
+        queue.clear();
+        reference.clear();
+        for (const auto& handle : handles) {
+          EXPECT_FALSE(handle.pending());  // clear() observes every handle
+        }
+      } else if (!queue.empty()) {
+        ASSERT_FALSE(reference.empty());
+        ASSERT_EQ(queue.next_time(), reference.next_time());
+        auto popped = queue.pop();
+        const auto expected = reference.pop();
+        ASSERT_EQ(popped.when, expected.when);
+        const auto before = fired.size();
+        popped.fn();
+        ASSERT_EQ(fired.size(), before + 1);
+        ASSERT_EQ(fired.back(), expected.id) << "seed " << seed << " op " << op;
+        // The tie path may schedule into the past (both queues accept it),
+        // so pop times are not monotone here; advance `now` monotonically.
+        now = std::max(now, popped.when);
+      }
+      ASSERT_EQ(queue.size(), reference.size()) << "seed " << seed << " op " << op;
+      ASSERT_EQ(queue.empty(), reference.empty());
+    }
+
+    // Drain: the full remaining order must match.
+    while (!reference.empty()) {
+      ASSERT_FALSE(queue.empty());
+      ASSERT_EQ(queue.next_time(), reference.next_time());
+      auto popped = queue.pop();
+      const auto expected = reference.pop();
+      ASSERT_EQ(popped.when, expected.when);
+      popped.fn();
+      ASSERT_EQ(fired.back(), expected.id);
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+  }
+}
+
+TEST(EventQueueDifferential, PopNeverGoesBackwardsAcrossEpochs) {
+  // Long-horizon stress: periodic timers at many scales force repeated
+  // ring wraps and overflow redistributions.
+  Rng rng{2024};
+  EventQueue queue;
+  for (int i = 0; i < 2000; ++i) {
+    queue.schedule(TimePoint{rng.uniform_int(0, 120'000'000)}, [] {});
+  }
+  TimePoint last = TimePoint::origin();
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto p = queue.pop();
+    ASSERT_GE(p.when, last);
+    last = p.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2000u);
+}
+
+}  // namespace
+}  // namespace evo::sim

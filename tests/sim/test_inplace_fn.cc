@@ -1,0 +1,124 @@
+#include "sim/inplace_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace evo::sim {
+namespace {
+
+using SmallFn = InplaceFn<48>;
+
+TEST(InplaceFn, EmptyByDefault) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.uses_inline_storage());
+}
+
+TEST(InplaceFn, CallsCapturedLambda) {
+  int hits = 0;
+  SmallFn fn{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFn, SmallCaptureUsesInlineStorage) {
+  int a = 0, b = 0, c = 0;
+  SmallFn fn{[&a, &b, &c] { a = b = c = 1; }};  // 24 bytes of capture
+  EXPECT_TRUE(fn.uses_inline_storage());
+}
+
+TEST(InplaceFn, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[96];
+  } big{};
+  big.bytes[95] = 7;
+  char observed = 0;
+  SmallFn fn{[big, &observed] { observed = big.bytes[95]; }};
+  EXPECT_FALSE(fn.uses_inline_storage());
+  fn();
+  EXPECT_EQ(observed, 7);  // heap path still calls correctly
+}
+
+TEST(InplaceFn, MoveTransfersCallable) {
+  int hits = 0;
+  SmallFn a{[&hits] { ++hits; }};
+  SmallFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFn, MoveAssignDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  SmallFn fn{[token] { (void)token; }};
+  token.reset();
+  EXPECT_FALSE(alive.expired());
+  fn = SmallFn{[] {}};
+  EXPECT_TRUE(alive.expired());  // old capture destroyed on assignment
+}
+
+TEST(InplaceFn, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  {
+    SmallFn fn{[token] { (void)token; }};
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InplaceFn, ResetReleasesCaptureAndEmpties) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  SmallFn fn{[token] { (void)token; }};
+  token.reset();
+  fn.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InplaceFn, MoveOnlyCapturesWork) {
+  auto value = std::make_unique<int>(41);
+  SmallFn fn{[v = std::move(value)] { ++*v; }};
+  fn();
+  SmallFn moved{std::move(fn)};
+  moved();
+}
+
+TEST(InplaceFn, SurvivesVectorGrowth) {
+  // Entries relocate when a bucket vector grows; captures must follow.
+  std::vector<SmallFn> fns;
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) fns.emplace_back([&hits] { ++hits; });
+  for (auto& fn : fns) fn();
+  EXPECT_EQ(hits, 100);
+}
+
+TEST(InplaceFn, EventFnHoldsTypicalProtocolCaptures) {
+  // The captures the control plane schedules (this + a few ids) must be
+  // inline; a heap fallback here would put allocations back on the
+  // schedule path that the calendar queue removed.
+  struct {
+    void* self;
+    std::uint32_t node, neighbor, link;
+    std::uint64_t seq;
+  } capture{nullptr, 1, 2, 3, 4};
+  EventFn fn{[capture] { (void)capture; }};
+  EXPECT_TRUE(fn.uses_inline_storage());
+}
+
+}  // namespace
+}  // namespace evo::sim

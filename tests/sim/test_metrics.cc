@@ -47,6 +47,56 @@ TEST(Summary, PercentileAfterInterleavedAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
 }
 
+TEST(Summary, BriefIncludesP99) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const auto brief = s.brief();
+  EXPECT_NE(brief.find("p95=95.000"), std::string::npos) << brief;
+  EXPECT_NE(brief.find("p99=99.000"), std::string::npos) << brief;
+}
+
+TEST(Summary, BriefResortsAfterLaterAdds) {
+  // Regression guard for the sorted_ cache: brief() sorts internally; an
+  // add() afterwards must invalidate the cache so the next brief()/
+  // percentile() sees the new sample in its correct rank.
+  Summary s;
+  s.add(10.0);
+  s.add(20.0);
+  (void)s.brief();  // sorts
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_NE(s.brief().find("p50=10.000"), std::string::npos);
+}
+
+TEST(Summary, AppendConcatenatesSamplesInOrder) {
+  Summary a, b;
+  a.add(3.0);
+  a.add(1.0);
+  (void)a.percentile(50);  // sorts a's samples in place: {1, 3}
+  b.add(2.0);
+  a.append(b);  // must invalidate the sorted cache
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.samples(), (std::vector<double>{1.0, 3.0, 2.0}));
+  EXPECT_DOUBLE_EQ(a.percentile(100), 3.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 2.0);
+}
+
+TEST(MetricRegistry, MergeFromSumsCountersAndAppendsSummaries) {
+  MetricRegistry a, b;
+  a.increment("hits", 2);
+  a.observe("lat", 1.0);
+  b.increment("hits", 3);
+  b.increment("only_b", 1);
+  b.observe("lat", 5.0);
+  b.observe("only_b_lat", 9.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("hits"), 5);
+  EXPECT_EQ(a.counter("only_b"), 1);
+  EXPECT_EQ(a.summary("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.summary("lat").mean(), 3.0);
+  ASSERT_NE(a.find_summary("only_b_lat"), nullptr);
+}
+
 TEST(Summary, ClearResets) {
   Summary s;
   s.add(1.0);

@@ -1,0 +1,126 @@
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace evo::sim {
+namespace {
+
+/// A miniature "experiment": each cell runs its own Simulator with a few
+/// randomized timers, records metrics, and renders one text row. Any
+/// scheduling nondeterminism or cross-cell state leak shows up as a diff
+/// between thread counts.
+CellResult demo_cell(std::size_t cell, Rng& rng) {
+  Simulator simulator;
+  CellResult result;
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto delay = Duration::micros(rng.uniform_int(1, 10'000));
+    simulator.schedule_after(delay, [&, delay] {
+      ++fired;
+      result.metrics.observe("cell.delay_us", static_cast<double>(delay.count_micros()));
+    });
+  }
+  simulator.run();
+  result.metrics.increment("cell.fired", fired);
+  result.metrics.observe("cell.draw", rng.uniform());
+  result.text = "cell " + std::to_string(cell) + " fired=" + std::to_string(fired) +
+                " end=" + std::to_string(simulator.now().count_micros()) + "\n";
+  return result;
+}
+
+std::string render(const std::vector<CellResult>& cells) {
+  std::string out;
+  for (const auto& cell : cells) out += cell.text;
+  return out;
+}
+
+TEST(ParallelSweep, OneThreadAndManyThreadsProduceIdenticalResults) {
+  constexpr std::size_t kCells = 12;
+  constexpr std::uint64_t kSeed = 4242;
+  const auto serial = ParallelSweep(1).run(kCells, kSeed, demo_cell);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto parallel = ParallelSweep(threads).run(kCells, kSeed, demo_cell);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(render(parallel), render(serial)) << threads << " threads";
+    // Merged metrics must match to the byte: identical counters AND
+    // identical sample order inside every summary.
+    EXPECT_EQ(merge_metrics(parallel).report(), merge_metrics(serial).report())
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelSweep, CellSeedsAreStableAndDistinct) {
+  // Stable: a cell's seed depends only on (sweep seed, cell index).
+  EXPECT_EQ(ParallelSweep::cell_seed(11011, 3), ParallelSweep::cell_seed(11011, 3));
+  // Distinct across cells and across sweep seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t sweep : {0ull, 1ull, 11011ull}) {
+    for (std::size_t cell = 0; cell < 64; ++cell) {
+      seeds.insert(ParallelSweep::cell_seed(sweep, cell));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3u * 64u);
+}
+
+TEST(ParallelSweep, ResultsComeBackInCellOrder) {
+  const auto results = ParallelSweep(4).run(8, 7, [](std::size_t cell, Rng&) {
+    CellResult r;
+    r.text = std::to_string(cell);
+    return r;
+  });
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].text, std::to_string(i));
+  }
+}
+
+TEST(ParallelSweep, FirstExceptionInCellOrderIsRethrown) {
+  const auto faulty = [](std::size_t cell, Rng&) -> CellResult {
+    if (cell == 2 || cell == 5) {
+      throw std::runtime_error("cell " + std::to_string(cell) + " failed");
+    }
+    return CellResult{};
+  };
+  for (unsigned threads : {1u, 4u}) {
+    EXPECT_THROW(
+        {
+          try {
+            ParallelSweep(threads).run(8, 1, faulty);
+          } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "cell 2 failed");
+            throw;
+          }
+        },
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelSweep, ZeroThreadsSelectsHardwareConcurrency) {
+  EXPECT_GE(ParallelSweep(0).threads(), 1u);
+  EXPECT_EQ(ParallelSweep(3).threads(), 3u);
+}
+
+TEST(ParallelSweep, MergeMetricsSumsCountersAndAppendsSamplesInCellOrder) {
+  std::vector<CellResult> cells(3);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].metrics.increment("hits", static_cast<std::int64_t>(i + 1));
+    cells[i].metrics.observe("latency", static_cast<double>(i * 10));
+  }
+  const auto merged = merge_metrics(cells);
+  EXPECT_EQ(merged.counter("hits"), 6);
+  const auto* latency = merged.find_summary("latency");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_EQ(latency->count(), 3u);
+  EXPECT_EQ(latency->samples(), (std::vector<double>{0.0, 10.0, 20.0}));
+}
+
+}  // namespace
+}  // namespace evo::sim
