@@ -114,53 +114,79 @@ void AnycastService::stop_peering_advertisement(GroupId group_id,
   sync_bgp_origination(group, member_domain);
 }
 
-void AnycastService::sync_bgp_origination(const Group& group, DomainId domain) {
-  if (bgp_ == nullptr) return;
+bool AnycastService::member_reachable(const Group& group, DomainId domain) const {
+  const auto& topo = network_.topology();
+  const auto speakers = bgp_ ? bgp_->speakers_of(domain) : std::vector<NodeId>{};
+  const igp::Igp* igp = igp_of_(domain);
+  for (const NodeId m : group.members) {
+    const auto& router = topo.router(m);
+    if (router.domain != domain || !router.up) continue;
+    // A domain without borders never originates; membership alone counts.
+    if (speakers.empty()) return true;
+    for (const NodeId s : speakers) {
+      if (!topo.router(s).up) continue;
+      if (s == m || igp == nullptr || igp->distance(s, m) != net::kInfiniteCost) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AnycastService::sync_bgp_origination(const Group& group, DomainId domain,
+                                          bool force) {
+  if (bgp_ == nullptr) return false;
   const Prefix host_route = Prefix::host(group.address);
-  const bool member_here = group.has_member_in(network_.topology(), domain);
-
-  if (group.config.mode == InterDomainMode::kGlobalRoutes) {
-    // Every member domain originates the /32 globally ("propagating these
-    // routes in BGP would require a change in policy but not mechanism").
-    if (member_here) {
-      bgp::OriginationPolicy policy;
-      policy.anycast = true;
-      bgp_->originate(domain, host_route, policy);
-    } else {
-      bgp_->withdraw(domain, host_route);
-    }
-    return;
+  bool should = member_reachable(group, domain);
+  if (group.config.mode == InterDomainMode::kDefaultRoute) {
+    // Option 2: no global origination — the default domain's aggregate
+    // covers the address. Only member domains with peering arrangements
+    // originate the /32, scoped to those neighbors and no-export.
+    const auto peers = group.peer_advertisements.find(domain);
+    should = should && peers != group.peer_advertisements.end() &&
+             !peers->second.empty();
   }
 
-  if (group.config.mode == InterDomainMode::kGia) {
-    // GIA: member routes propagate within the search radius; everyone
-    // farther follows the home domain's aggregate.
-    if (member_here) {
-      bgp::OriginationPolicy policy;
-      policy.anycast = true;
-      policy.propagation_ttl = group.config.gia_search_radius;
-      bgp_->originate(domain, host_route, policy);
-    } else {
-      bgp_->withdraw(domain, host_route);
-    }
-    return;
-  }
+  bool& current = originating_[{group.id.value(), domain.value()}];
+  const bool flipped = current != should;
+  if (!force && !flipped) return false;
+  current = should;
 
-  // Option 2: no global origination. The default domain's aggregate covers
-  // the address. A member domain with peering arrangements originates the
-  // /32 scoped to those neighbors, no-export.
-  const auto peers = group.peer_advertisements.find(domain);
-  const bool advertises =
-      member_here && peers != group.peer_advertisements.end() && !peers->second.empty();
-  if (advertises) {
-    bgp::OriginationPolicy policy;
-    policy.anycast = true;
-    policy.no_export = true;
-    policy.export_scope = peers->second;
-    bgp_->originate(domain, host_route, policy);
-  } else {
+  if (!should) {
     bgp_->withdraw(domain, host_route);
+    return flipped;
   }
+  bgp::OriginationPolicy policy;
+  policy.anycast = true;
+  switch (group.config.mode) {
+    case InterDomainMode::kGlobalRoutes:
+      // Every serving domain originates the /32 globally ("propagating
+      // these routes in BGP would require a change in policy but not
+      // mechanism").
+      break;
+    case InterDomainMode::kGia:
+      // GIA: member routes propagate within the search radius; everyone
+      // farther follows the home domain's aggregate.
+      policy.propagation_ttl = group.config.gia_search_radius;
+      break;
+    case InterDomainMode::kDefaultRoute:
+      policy.no_export = true;
+      policy.export_scope = group.peer_advertisements.at(domain);
+      break;
+  }
+  bgp_->originate(domain, host_route, policy);
+  return flipped;
+}
+
+bool AnycastService::sync_reachability() {
+  if (bgp_ == nullptr) return false;
+  bool changed = false;
+  for (const Group& group : groups_) {
+    for (const auto& domain : network_.topology().domains()) {
+      if (sync_bgp_origination(group, domain.id, /*force=*/false)) changed = true;
+    }
+  }
+  return changed;
 }
 
 }  // namespace evo::anycast

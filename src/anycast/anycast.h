@@ -95,6 +95,15 @@ class AnycastService {
   void stop_peering_advertisement(net::GroupId group, net::DomainId member_domain,
                                   net::DomainId neighbor);
 
+  /// Conditional origination, the BGP "network statement" discipline: a
+  /// member domain advertises a group's route only while some member is up
+  /// AND IGP-reachable from one of the domain's BGP speakers. Otherwise the
+  /// border would attract anycast traffic it can only default-route back
+  /// out — a persistent inter-domain forwarding loop. Call after each IGP
+  /// reconvergence; returns true when any origination changed (new BGP
+  /// UPDATEs are then in flight, so reconverge again).
+  bool sync_reachability();
+
   const Group& group(net::GroupId id) const { return groups_.at(id.value()); }
   std::size_t group_count() const { return groups_.size(); }
 
@@ -107,13 +116,26 @@ class AnycastService {
   Group& mutable_group(net::GroupId id) { return groups_.at(id.value()); }
 
   /// (Re-)originate or withdraw the group's BGP routes for `domain`
-  /// according to mode, membership, and peering advertisements.
-  void sync_bgp_origination(const Group& group, net::DomainId domain);
+  /// according to mode, membership, speaker reachability, and peering
+  /// advertisements. With `force` false, BGP is touched only when the
+  /// originate/withdraw state flips (originate() always re-advertises, so
+  /// an unconditional resweep would never quiesce); membership and peering
+  /// mutations pass true to push policy changes out. Returns whether the
+  /// origination state flipped.
+  bool sync_bgp_origination(const Group& group, net::DomainId domain,
+                            bool force = true);
+
+  /// True when `domain` can actually serve the group: some member in it is
+  /// up and reachable from an up BGP speaker through the domain's IGP.
+  bool member_reachable(const Group& group, net::DomainId domain) const;
 
   net::Network& network_;
   bgp::BgpSystem* bgp_;
   std::function<igp::Igp*(net::DomainId)> igp_of_;
   std::vector<Group> groups_;
+  /// Current origination state per (group, domain), so the reachability
+  /// sweep only calls into BGP on transitions.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> originating_;
   /// Next free option-1 address and per-domain option-2 slot counters.
   std::uint32_t next_global_index_ = 1;
   std::map<net::DomainId, std::uint32_t> next_default_slot_;

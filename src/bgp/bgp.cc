@@ -480,6 +480,12 @@ const Route* BgpSystem::best_route(NodeId node, Prefix prefix) const {
   return it == st.loc_rib.end() ? nullptr : &it->second;
 }
 
+void BgpSystem::for_each_best_route(
+    NodeId node, const std::function<void(const Route&)>& fn) const {
+  if (!is_speaker(node)) return;
+  for (const auto& [prefix, route] : speaker(node).loc_rib) fn(route);
+}
+
 std::vector<Prefix> BgpSystem::loc_rib_prefixes(NodeId node) const {
   std::vector<Prefix> out;
   if (!is_speaker(node)) return out;

@@ -59,6 +59,12 @@ class BgpSystem {
   /// Best route for `prefix` at `speaker`'s Loc-RIB, if any.
   const Route* best_route(net::NodeId speaker, net::Prefix prefix) const;
 
+  /// Visit every Loc-RIB best route at `speaker` in prefix order, without
+  /// materializing prefix lists. No-op for non-speakers. Const inspection
+  /// point for policy-compliance oracles (e.g. Gao-Rexford audits).
+  void for_each_best_route(net::NodeId speaker,
+                           const std::function<void(const Route&)>& fn) const;
+
   /// All prefixes with a best route at `speaker`.
   std::vector<net::Prefix> loc_rib_prefixes(net::NodeId speaker) const;
 

@@ -1,0 +1,46 @@
+#include "check/plan.h"
+
+namespace evo::check {
+
+const char* to_string(Breakage breakage) {
+  switch (breakage) {
+    case Breakage::kNone: return "none";
+    case Breakage::kSilentLinkDown: return "silent-link-down";
+    case Breakage::kDropRoute: return "drop-route";
+    case Breakage::kSplitHorizon: return "split-horizon";
+  }
+  return "?";
+}
+
+std::optional<Breakage> breakage_from_string(std::string_view name) {
+  for (const auto b : {Breakage::kNone, Breakage::kSilentLinkDown,
+                       Breakage::kDropRoute, Breakage::kSplitHorizon}) {
+    if (name == to_string(b)) return b;
+  }
+  return std::nullopt;
+}
+
+std::string validate(const ScenarioPlan& plan, const net::Topology& topology) {
+  for (const auto router : plan.initial_deployment) {
+    if (router.value() >= topology.router_count()) {
+      return "deployment references router " + std::to_string(router.value()) +
+             " outside topology (" + std::to_string(topology.router_count()) +
+             " routers)";
+    }
+  }
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const auto& event = plan.events[i];
+    const bool link_event = event.kind == core::FailureKind::kLinkDown ||
+                            event.kind == core::FailureKind::kLinkUp;
+    const std::size_t limit =
+        link_event ? topology.link_count() : topology.router_count();
+    if (event.subject >= limit) {
+      return "event " + std::to_string(i) + " (" + to_string(event.kind) +
+             ") references subject " + std::to_string(event.subject) +
+             " outside topology";
+    }
+  }
+  return {};
+}
+
+}  // namespace evo::check

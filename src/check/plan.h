@@ -1,0 +1,82 @@
+// Scenario plans: the fully explicit description of one fuzz scenario —
+// topology parameters, protocol configuration, initial IPvN deployment,
+// and a churn schedule stamped with nominal times.
+//
+// A plan is what the fuzzer derives from a single seed, what the shrinker
+// minimizes, and what replay files serialize. Running a plan is
+// deterministic (the topology regenerates from its parameters, the
+// simulator is integer-time, every random choice is already frozen into
+// the plan), so a plan is a complete, byte-stable reproducer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/anycast.h"
+#include "core/evolvable_internet.h"
+#include "core/failure_plane.h"
+#include "net/topology_gen.h"
+#include "vnbone/vnbone.h"
+
+namespace evo::check {
+
+/// Intentional fault injections for harness self-tests: each models a
+/// class of control-plane bug the oracles must catch. A healthy run uses
+/// kNone; the others exist so `tools/fuzz_scenarios --break <fault>` can
+/// demonstrate end-to-end that a real defect is found AND shrunk.
+enum class Breakage : std::uint8_t {
+  kNone,
+  /// Apply link-down events by poking the topology directly, without the
+  /// EvolvableInternet notification fan-out — models a forgotten
+  /// protocol notification (the class of bug PR 2 fixed). Stale FIBs
+  /// then blackhole traffic at quiescence.
+  kSilentLinkDown,
+  /// After each quiescent point, delete one IGP route from one router's
+  /// FIB — models a lost route-installation write.
+  kDropRoute,
+  /// Disable split horizon entirely (forces the distance-vector IGP) and
+  /// raise the DV infinity far beyond the RIP-sized bound: losing a prefix
+  /// then counts to infinity without the small-infinity safety net, which
+  /// the convergence-budget oracle flags as runaway churn.
+  kSplitHorizon,
+};
+
+const char* to_string(Breakage breakage);
+std::optional<Breakage> breakage_from_string(std::string_view name);
+
+struct ScenarioPlan {
+  /// Provenance only (printed in reports); the fields below are the
+  /// authoritative description — a shrunk plan keeps its ancestor's seed.
+  std::uint64_t seed = 0;
+
+  net::TransitStubParams topology;
+  core::IgpKind igp = core::IgpKind::kLinkState;
+  anycast::InterDomainMode anycast_mode = anycast::InterDomainMode::kDefaultRoute;
+  std::uint32_t k_neighbors = 2;
+  vnbone::EgressMode egress_mode = vnbone::EgressMode::kProxyAdvertising;
+
+  /// Routers deployed (in order) before the first quiescent check. The
+  /// first router's domain becomes the deployment's default domain.
+  std::vector<net::NodeId> initial_deployment;
+
+  /// Churn events, applied one at a time; the invariant oracles run at
+  /// the quiescent point after each.
+  std::vector<core::FailureEvent> events;
+
+  Breakage breakage = Breakage::kNone;
+
+  /// Simulator events allowed per churn episode before the
+  /// convergence-budget oracle fires (a runaway control plane — e.g.
+  /// count-to-infinity — must not hang the harness).
+  std::uint64_t convergence_budget = 250'000;
+};
+
+/// Well-formedness of `plan` against a topology generated from its
+/// parameters: every deployment/event subject must reference an existing
+/// router or link. Returns an error description, empty when valid.
+std::string validate(const ScenarioPlan& plan, const net::Topology& topology);
+
+}  // namespace evo::check

@@ -1,0 +1,53 @@
+// Replay files: a human-readable, line-oriented serialization of
+// ScenarioPlan. Shrunk reproducers are written in this format, the
+// committed corpus/ is a directory of them, and `tools/fuzz_scenarios
+// --replay file` runs one.
+//
+// Format (order fixed, '#' starts a comment):
+//
+//   # evo_check replay v1
+//   seed 0x2a
+//   break none
+//   budget 250000
+//   igp link-state
+//   anycast default-route
+//   vnbone k=2 egress=proxy-advertising
+//   topology transit=2 stubs=1 transit_routers=3 transit_chord=0.25 ...
+//            (one line: stub_routers, stub_chord, peering, multihoming,
+//            waxman, topo_seed)
+//   deploy 3
+//   event 10 link-down 4
+//
+// Every `deploy` line is one initially deployed router; every `event` line
+// is "<nominal-time-micros> <kind> <subject>". Doubles round-trip exactly
+// (printed with max_digits10), so parse(format(plan)) == plan.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/plan.h"
+
+namespace evo::check {
+
+/// Serialize `plan` to replay text.
+std::string format_replay(const ScenarioPlan& plan);
+
+struct ParsedReplay {
+  ScenarioPlan plan;
+  /// Empty on success; otherwise "line N: what went wrong".
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse replay text (as produced by format_replay; unknown keys are
+/// errors so corpus typos cannot silently change a scenario).
+ParsedReplay parse_replay(std::string_view text);
+
+/// Convenience file forms. load returns an error for unreadable files.
+std::string write_replay_file(const std::string& path, const ScenarioPlan& plan);
+ParsedReplay load_replay_file(const std::string& path);
+
+}  // namespace evo::check

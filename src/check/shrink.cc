@@ -1,0 +1,174 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "net/topology_gen.h"
+
+namespace evo::check {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(OracleKind target, const OracleOptions& options, std::size_t max_runs)
+      : target_(target), options_(options), max_runs_(max_runs) {}
+
+  std::size_t runs() const { return runs_; }
+  const RunReport& best_report() const { return best_report_; }
+
+  bool budget_left() const { return runs_ < max_runs_; }
+
+  /// Run `candidate`; true when it still trips the target oracle (the
+  /// candidate's report is cached as the new best).
+  bool reproduces(const ScenarioPlan& candidate) {
+    if (!budget_left()) return false;
+    ++runs_;
+    RunReport report = run_plan(candidate, options_);
+    const bool hit = std::any_of(
+        report.violations.begin(), report.violations.end(),
+        [&](const Violation& v) { return v.oracle == target_; });
+    if (hit) best_report_ = std::move(report);
+    return hit;
+  }
+
+  /// Classic ddmin over one sequence field of the plan: repeatedly try
+  /// removing contiguous chunks, halving the chunk size when stuck.
+  template <typename T>
+  void ddmin(ScenarioPlan& plan, std::vector<T> ScenarioPlan::* field) {
+    auto& items = plan.*field;
+    std::size_t chunk = items.empty() ? 0 : (items.size() + 1) / 2;
+    while (chunk > 0 && !items.empty() && budget_left()) {
+      bool removed_any = false;
+      for (std::size_t begin = 0; begin < items.size() && budget_left();) {
+        ScenarioPlan candidate = plan;
+        auto& trimmed = candidate.*field;
+        const std::size_t end = std::min(begin + chunk, trimmed.size());
+        trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(begin),
+                      trimmed.begin() + static_cast<std::ptrdiff_t>(end));
+        if (reproduces(candidate)) {
+          plan = std::move(candidate);
+          removed_any = true;
+          // Do not advance: the next chunk slid into this position.
+        } else {
+          begin += chunk;
+        }
+      }
+      if (!removed_any) chunk /= 2;
+    }
+  }
+
+  /// Try one parameter mutation; keep it if the violation survives.
+  bool try_mutation(ScenarioPlan& plan,
+                    const std::function<void(ScenarioPlan&)>& mutate) {
+    ScenarioPlan candidate = plan;
+    mutate(candidate);
+    const net::Topology topology = net::generate_transit_stub(candidate.topology);
+    if (!validate(candidate, topology).empty()) return false;
+    if (!reproduces(candidate)) return false;
+    plan = std::move(candidate);
+    return true;
+  }
+
+ private:
+  OracleKind target_;
+  OracleOptions options_;
+  std::size_t max_runs_;
+  std::size_t runs_ = 0;
+  RunReport best_report_;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioPlan& plan, const RunReport& report,
+                    const OracleOptions& options, std::size_t max_runs) {
+  ShrinkResult result;
+  result.plan = plan;
+  result.report = report;
+  if (report.violations.empty()) return result;
+  const OracleKind target = report.violations.front().oracle;
+
+  // Events past the violating episode never executed; drop them outright.
+  std::size_t last_episode = 0;
+  for (const auto& violation : report.violations) {
+    last_episode = std::max(last_episode, violation.episode);
+  }
+  if (last_episode < result.plan.events.size()) {
+    result.plan.events.resize(last_episode);
+  }
+
+  Shrinker shrinker{target, options, max_runs};
+  // Shrinking is only sound if the truncated plan still reproduces; if it
+  // somehow does not (a flaky oracle would be a harness bug), bail out and
+  // return the original untouched.
+  if (!shrinker.reproduces(result.plan)) {
+    result.plan = plan;
+    result.runs = shrinker.runs();
+    return result;
+  }
+
+  for (int round = 0; round < 4 && shrinker.budget_left(); ++round) {
+    ScenarioPlan before = result.plan;
+
+    shrinker.ddmin(result.plan, &ScenarioPlan::events);
+    shrinker.ddmin(result.plan, &ScenarioPlan::initial_deployment);
+
+    // Topology pruning, cheapest-first: each mutation is retried while it
+    // keeps making the scenario smaller.
+    const auto halve = [](std::uint32_t& value, std::uint32_t floor) {
+      value = std::max(floor, value / 2);
+    };
+    const std::function<void(ScenarioPlan&)> mutations[] = {
+        [](ScenarioPlan& p) { p.topology.multihoming_probability = 0.0; },
+        [](ScenarioPlan& p) { p.topology.waxman_interiors = false; },
+        [](ScenarioPlan& p) {
+          p.topology.transit_internal.chord_probability = 0.0;
+          p.topology.stub_internal.chord_probability = 0.0;
+        },
+        [&](ScenarioPlan& p) { halve(p.topology.stubs_per_transit, 0); },
+        [&](ScenarioPlan& p) { halve(p.topology.stub_internal.routers, 1); },
+        [&](ScenarioPlan& p) { halve(p.topology.transit_internal.routers, 1); },
+        [&](ScenarioPlan& p) { halve(p.topology.transit_domains, 1); },
+    };
+    for (const auto& mutation : mutations) {
+      ScenarioPlan probe = result.plan;
+      mutation(probe);
+      while (shrinker.budget_left() &&
+             shrinker.try_mutation(result.plan, mutation)) {
+        ScenarioPlan next = result.plan;
+        mutation(next);
+        // Stop once the mutation is a fixpoint (e.g. already at the floor).
+        if (next.topology.transit_domains == result.plan.topology.transit_domains &&
+            next.topology.stubs_per_transit == result.plan.topology.stubs_per_transit &&
+            next.topology.transit_internal.routers ==
+                result.plan.topology.transit_internal.routers &&
+            next.topology.stub_internal.routers ==
+                result.plan.topology.stub_internal.routers &&
+            next.topology.waxman_interiors == result.plan.topology.waxman_interiors &&
+            next.topology.multihoming_probability ==
+                result.plan.topology.multihoming_probability &&
+            next.topology.transit_internal.chord_probability ==
+                result.plan.topology.transit_internal.chord_probability) {
+          break;
+        }
+      }
+    }
+
+    const bool changed =
+        before.events.size() != result.plan.events.size() ||
+        before.initial_deployment.size() != result.plan.initial_deployment.size() ||
+        before.topology.transit_domains != result.plan.topology.transit_domains ||
+        before.topology.stubs_per_transit != result.plan.topology.stubs_per_transit ||
+        before.topology.transit_internal.routers !=
+            result.plan.topology.transit_internal.routers ||
+        before.topology.stub_internal.routers !=
+            result.plan.topology.stub_internal.routers;
+    if (!changed) break;
+  }
+
+  result.report = shrinker.best_report();
+  result.runs = shrinker.runs();
+  return result;
+}
+
+}  // namespace evo::check

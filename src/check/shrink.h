@@ -1,0 +1,39 @@
+// Reproducer minimization: given a violating ScenarioPlan, find a smaller
+// plan that still trips the same oracle.
+//
+// Three passes run to a bounded fixpoint:
+//   1. truncate — events after the violating episode never ran; drop them;
+//   2. ddmin    — delta-debugging over the event schedule, then over the
+//                 initial deployment (remove chunks of halving size while
+//                 the violation reproduces);
+//   3. prune    — shrink the topology parameters (fewer stubs, transits,
+//                 routers; no chords / Waxman / multihoming), rejecting any
+//                 candidate whose plan no longer validates against the
+//                 smaller topology.
+//
+// "Reproduces" means: run_plan reports at least one violation of the same
+// OracleKind as the original's first violation — the shrink never trades
+// one bug for a different one.
+#pragma once
+
+#include <cstddef>
+
+#include "check/fuzzer.h"
+
+namespace evo::check {
+
+struct ShrinkResult {
+  /// The minimal plan found (== the input when nothing could be removed).
+  ScenarioPlan plan;
+  /// run_plan() of the minimal plan.
+  RunReport report;
+  /// Candidate executions spent.
+  std::size_t runs = 0;
+};
+
+/// Minimize `plan`, whose run produced `report` (must have violations).
+/// `max_runs` bounds the total candidate executions.
+ShrinkResult shrink(const ScenarioPlan& plan, const RunReport& report,
+                    const OracleOptions& options = {}, std::size_t max_runs = 400);
+
+}  // namespace evo::check

@@ -95,7 +95,14 @@ void EvolvableInternet::undeploy_router(NodeId router) {
 }
 
 std::uint64_t EvolvableInternet::converge() {
-  const std::uint64_t events = simulator_.run();
+  std::uint64_t events = simulator_.run();
+  // Conditional anycast origination tracks IGP reachability; a withdraw or
+  // re-advertisement sends new UPDATEs, so iterate to the joint fixpoint
+  // (reachability is a function of the now-converged IGPs, so one extra
+  // round suffices; the bound is sheer paranoia).
+  for (int i = 0; i < 8 && anycast_->sync_reachability(); ++i) {
+    events += simulator_.run();
+  }
   bgp_->install_routes();
   for (auto& vnbone : vnbones_) vnbone->rebuild();
   return events;
@@ -116,6 +123,12 @@ void EvolvableInternet::schedule_control_sync() {
   sync_pending_ = true;
   simulator_.notify_on_idle([this] {
     sync_pending_ = false;
+    if (anycast_->sync_reachability()) {
+      // Origination changed: UPDATEs are in flight again. Re-arm and
+      // finish the sync at the next quiescence instead.
+      schedule_control_sync();
+      return;
+    }
     bgp_->install_routes();
     for (auto& vnbone : vnbones_) vnbone->rebuild();
   });

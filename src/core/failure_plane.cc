@@ -20,6 +20,15 @@ const char* to_string(FailureKind kind) {
   return "?";
 }
 
+std::optional<FailureKind> failure_kind_from_string(std::string_view name) {
+  for (const auto kind :
+       {FailureKind::kLinkDown, FailureKind::kLinkUp, FailureKind::kNodeDown,
+        FailureKind::kNodeUp, FailureKind::kMemberLoss, FailureKind::kMemberJoin}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 FailureSchedule& FailureSchedule::add(sim::TimePoint at, FailureKind kind,
                                       std::uint32_t subject) {
   events_.push_back(FailureEvent{at, kind, subject});

@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/evolvable_internet.h"
@@ -47,6 +49,10 @@ enum class FailureKind : std::uint8_t {
 };
 
 const char* to_string(FailureKind kind);
+
+/// Inverse of to_string(FailureKind); nullopt for unknown names. Used by
+/// the scenario-replay parser.
+std::optional<FailureKind> failure_kind_from_string(std::string_view name);
 
 struct FailureEvent {
   sim::TimePoint at;      // nominal injection time

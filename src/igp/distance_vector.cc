@@ -168,7 +168,7 @@ std::vector<DistanceVectorIgp::AdvertisedRoute> DistanceVectorIgp::routes_for(
   for (const auto& [prefix, route] : st.table) {
     if (!full && !route.changed) continue;
     Cost metric = route.metric;
-    if (route.next_hop == neighbor) {
+    if (route.next_hop == neighbor && config_.split_horizon) {
       if (!config_.poisoned_reverse) continue;  // plain split horizon
       metric = config_.infinity;                // poisoned reverse
     }

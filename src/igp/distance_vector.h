@@ -34,6 +34,12 @@ struct DistanceVectorConfig {
   sim::Duration periodic_interval = sim::Duration::zero();
   /// Split horizon with poisoned reverse.
   bool poisoned_reverse = true;
+  /// Fault-injection backdoor: when false, routes are advertised back to
+  /// the neighbor they were learned from at their real metric (no split
+  /// horizon at all, overriding poisoned_reverse), which re-enables the
+  /// classic count-to-infinity pathology on route loss. Exists so the fuzz
+  /// harness can prove its convergence-budget oracle catches exactly that.
+  bool split_horizon = true;
   /// The paper's "explicitly listing its anycast address" variant: the
   /// router's own loopback advertisement carries its anycast memberships,
   /// making member discovery possible over distance-vector.

@@ -21,6 +21,16 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derive an independent child seed for a named substream. One scenario
+/// seed fans out into per-component streams (topology, plan, probes,
+/// iteration i of a campaign) that are reproducible in isolation: the
+/// same (seed, stream) pair always yields the same child seed.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ (stream * 0xD1342543DE82EF95ULL);
+  const std::uint64_t a = splitmix64(state);
+  return a ^ splitmix64(state);
+}
+
 /// xoshiro256** generator. Small, fast, high quality, and deterministic
 /// across platforms (unlike std::mt19937's distribution wrappers).
 class Rng {

@@ -141,6 +141,11 @@ class VnBone {
   std::vector<net::NodeId> deployed_routers_in(net::DomainId domain) const;
   std::vector<net::DomainId> deployed_domains() const;
 
+  /// The routers actually participating in the bone right now: deployed
+  /// AND up. Const inspection point for invariant oracles (the fuzzer's
+  /// vN-Bone connectivity check compares these against virtual_graph()).
+  std::vector<net::NodeId> active_members() const { return active_routers(); }
+
   // --- virtual topology ----------------------------------------------------
   /// Rebuild the virtual topology from the (converged) substrate. Call
   /// after deployment changes and after the simulator reaches quiescence.

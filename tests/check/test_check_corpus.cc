@@ -1,0 +1,50 @@
+// Corpus regression tests: every committed replay in corpus/ must load,
+// run clean, and produce the same digest on a second run. The corpus is
+// the fuzzer's long-term memory — scenarios that once found bugs (or
+// cover a distinctive configuration) stay pinned here forever.
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.h"
+#include "check/replay.h"
+
+#ifndef EVO_CORPUS_DIR
+#error "build must define EVO_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace evo::check {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(EVO_CORPUS_DIR)) {
+    if (entry.path().extension() == ".replay") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HasReplays) { EXPECT_FALSE(corpus_files().empty()); }
+
+TEST(Corpus, EveryReplayRunsCleanAndDeterministically) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const ParsedReplay parsed = load_replay_file(path.string());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.plan.breakage, Breakage::kNone)
+        << "committed corpus must be healthy scenarios";
+
+    const RunReport report = run_plan(parsed.plan);
+    EXPECT_TRUE(report.invalid.empty()) << report.invalid;
+    for (const auto& violation : report.violations) {
+      ADD_FAILURE() << violation.describe();
+    }
+    EXPECT_EQ(report.digest, run_plan(parsed.plan).digest)
+        << "corpus replay is not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace evo::check

@@ -1,0 +1,69 @@
+// The scenario fuzzer: same seed => same plan, same digest, same verdict;
+// a window of seeds runs clean (these are the regression seeds the CI
+// smoke job replays daily).
+#include "check/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "check/replay.h"
+
+namespace evo::check {
+namespace {
+
+TEST(Fuzzer, PlanGenerationIsDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(format_replay(generate_plan(seed)), format_replay(generate_plan(seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzzer, RunsAreObservationallyIdentical) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 13ULL}) {
+    const ScenarioPlan plan = generate_plan(seed);
+    const RunReport first = run_plan(plan);
+    const RunReport second = run_plan(plan);
+    EXPECT_EQ(first.digest, second.digest) << "seed " << seed;
+    EXPECT_EQ(first.episodes, second.episodes) << "seed " << seed;
+    EXPECT_EQ(first.events_processed, second.events_processed) << "seed " << seed;
+    EXPECT_EQ(first.violations.size(), second.violations.size()) << "seed " << seed;
+  }
+}
+
+TEST(Fuzzer, SeedWindowRunsClean) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RunReport report = run_plan(generate_plan(seed));
+    EXPECT_TRUE(report.invalid.empty()) << "seed " << seed << ": " << report.invalid;
+    for (const auto& violation : report.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation.describe();
+    }
+  }
+}
+
+TEST(Fuzzer, PlansVaryAcrossSeeds) {
+  // The generator must actually explore the space: across a seed window we
+  // expect more than one IGP kind, anycast mode, and event schedule.
+  std::set<core::IgpKind> igps;
+  std::set<anycast::InterDomainMode> modes;
+  std::set<std::size_t> event_counts;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ScenarioPlan plan = generate_plan(seed);
+    igps.insert(plan.igp);
+    modes.insert(plan.anycast_mode);
+    event_counts.insert(plan.events.size());
+  }
+  EXPECT_GT(igps.size(), 1u);
+  EXPECT_GT(modes.size(), 1u);
+  EXPECT_GT(event_counts.size(), 2u);
+}
+
+TEST(Fuzzer, InvalidPlanIsRejectedNotRun) {
+  ScenarioPlan plan = generate_plan(1);
+  plan.events.push_back(
+      {sim::TimePoint::origin(), core::FailureKind::kNodeDown, 100000});
+  const RunReport report = run_plan(plan);
+  EXPECT_FALSE(report.invalid.empty());
+  EXPECT_EQ(report.episodes, 0u);
+}
+
+}  // namespace
+}  // namespace evo::check

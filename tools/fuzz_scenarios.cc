@@ -1,0 +1,228 @@
+// Scenario fuzzing CLI: generate seeds, run the invariant oracles at every
+// quiescent point, shrink the first failure to a minimal reproducer.
+//
+//   fuzz_scenarios --iterations 200 --seed 1          # campaign
+//   fuzz_scenarios --time-budget 120s                 # bounded by wall time
+//   fuzz_scenarios --replay corpus/foo.replay         # rerun one reproducer
+//   fuzz_scenarios --break silent-link-down           # harness self-test
+//   fuzz_scenarios --seed 0x2a --dump-plan out.replay # export a scenario
+//
+// stdout is deterministic (one "seed <hex> digest <hex> ..." line per
+// iteration) so two invocations with the same flags can be diffed;
+// wall-clock progress goes to stderr. Exit status: 0 clean, 1 violations
+// (or replay mismatch), 2 usage/file errors.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <optional>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "check/replay.h"
+#include "check/shrink.h"
+
+namespace {
+
+using evo::check::Breakage;
+using evo::check::RunReport;
+using evo::check::ScenarioPlan;
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 100;
+  /// 0 = no wall-clock bound.
+  std::int64_t time_budget_seconds = 0;
+  std::string replay_path;
+  std::string shrink_out = "fuzz_repro.replay";
+  std::string dump_plan_path;
+  Breakage breakage = Breakage::kNone;
+  std::size_t shrink_runs = 400;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--iterations N] [--seed S] [--time-budget 120s]\n"
+      "          [--replay FILE] [--dump-plan FILE] [--shrink-out FILE]\n"
+      "          [--break none|silent-link-down|drop-route|split-horizon]\n"
+      "          [--shrink-runs N]\n",
+      argv0);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 0);
+  return end != text && *end == '\0';
+}
+
+/// "120", "120s", "2m" -> seconds.
+bool parse_duration_seconds(const char* text, std::int64_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || value < 0) return false;
+  if (*end == '\0' || std::strcmp(end, "s") == 0) {
+    out = value;
+  } else if (std::strcmp(end, "m") == 0) {
+    out = value * 60;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--iterations") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, args.iterations)) return std::nullopt;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, args.seed)) return std::nullopt;
+    } else if (flag == "--time-budget") {
+      const char* v = value();
+      if (v == nullptr || !parse_duration_seconds(v, args.time_budget_seconds)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.replay_path = v;
+    } else if (flag == "--dump-plan") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.dump_plan_path = v;
+    } else if (flag == "--shrink-out") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.shrink_out = v;
+    } else if (flag == "--break") {
+      const char* v = value();
+      const auto parsed = v ? evo::check::breakage_from_string(v) : std::nullopt;
+      if (!parsed) return std::nullopt;
+      args.breakage = *parsed;
+    } else if (flag == "--shrink-runs") {
+      std::uint64_t runs = 0;
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, runs)) return std::nullopt;
+      args.shrink_runs = static_cast<std::size_t>(runs);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+void print_violations(const RunReport& report) {
+  for (const auto& violation : report.violations) {
+    std::printf("  violation %s\n", violation.describe().c_str());
+  }
+}
+
+/// Shrink a failing plan and write the minimal reproducer.
+void shrink_and_save(const Args& args, const ScenarioPlan& plan,
+                     const RunReport& report) {
+  std::fprintf(stderr, "shrinking (up to %zu runs)...\n", args.shrink_runs);
+  const auto shrunk =
+      evo::check::shrink(plan, report, {}, args.shrink_runs);
+  std::printf("shrunk to %zu events, %zu deployed routers (%zu runs)\n",
+              shrunk.plan.events.size(), shrunk.plan.initial_deployment.size(),
+              shrunk.runs);
+  print_violations(shrunk.report);
+  const std::string error =
+      evo::check::write_replay_file(args.shrink_out, shrunk.plan);
+  if (error.empty()) {
+    std::printf("reproducer written to %s\n", args.shrink_out.c_str());
+  } else {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+  }
+}
+
+int run_replay(const Args& args) {
+  const auto parsed = evo::check::load_replay_file(args.replay_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", args.replay_path.c_str(),
+                 parsed.error.c_str());
+    return 2;
+  }
+  const RunReport report = evo::check::run_plan(parsed.plan);
+  if (!report.invalid.empty()) {
+    std::printf("replay %s invalid: %s\n", args.replay_path.c_str(),
+                report.invalid.c_str());
+    return 1;
+  }
+  std::printf("replay %s seed 0x%" PRIx64 " digest 0x%016" PRIx64
+              " episodes %zu violations %zu\n",
+              args.replay_path.c_str(), parsed.plan.seed, report.digest,
+              report.episodes, report.violations.size());
+  print_violations(report);
+  return report.clean() ? 0 : 1;
+}
+
+int run_campaign(const Args& args) {
+  const std::time_t start = std::time(nullptr);
+  std::uint64_t ran = 0;
+  for (std::uint64_t i = 0; i < args.iterations; ++i) {
+    if (args.time_budget_seconds > 0 &&
+        std::time(nullptr) - start >= args.time_budget_seconds) {
+      std::fprintf(stderr, "time budget exhausted after %" PRIu64 " iterations\n",
+                   ran);
+      break;
+    }
+    const std::uint64_t seed = args.seed + i;
+    ScenarioPlan plan = evo::check::generate_plan(seed);
+    plan.breakage = args.breakage;
+    if (plan.breakage == Breakage::kSplitHorizon) {
+      // Count-to-infinity is "slow convergence", not wrong quiescent
+      // state; a tight budget is what makes the oracle fire.
+      plan.convergence_budget = 20'000;
+    }
+    const RunReport report = evo::check::run_plan(plan);
+    ++ran;
+    std::printf("seed 0x%" PRIx64 " digest 0x%016" PRIx64
+                " episodes %zu events %" PRIu64 " violations %zu\n",
+                seed, report.digest, report.episodes, report.events_processed,
+                report.violations.size());
+    if (!report.invalid.empty()) {
+      std::printf("  plan invalid: %s\n", report.invalid.c_str());
+      return 1;
+    }
+    if (!report.violations.empty()) {
+      print_violations(report);
+      shrink_and_save(args, plan, report);
+      return 1;
+    }
+  }
+  std::printf("%" PRIu64 " iterations clean\n", ran);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!args->dump_plan_path.empty()) {
+    ScenarioPlan plan = evo::check::generate_plan(args->seed);
+    plan.breakage = args->breakage;
+    const std::string error =
+        evo::check::write_replay_file(args->dump_plan_path, plan);
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("plan for seed 0x%" PRIx64 " written to %s\n", args->seed,
+                args->dump_plan_path.c_str());
+    return 0;
+  }
+  if (!args->replay_path.empty()) return run_replay(*args);
+  return run_campaign(*args);
+}
