@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
       "E5: routing state vs number of anycast groups (\"state grows in "
       "direct proportion to the number of anycast groups\")");
   evo::bench::JsonWriter json;
+  evo::bench::fill_standard_meta(json, "anycast_scalability", args.threads);
   evo::sweep(evo::anycast::InterDomainMode::kGlobalRoutes, args, json);
   evo::sweep(evo::anycast::InterDomainMode::kDefaultRoute, args, json);
   evo::bench::row(

@@ -167,6 +167,7 @@ void sweep(const bench::Args& args) {
       [&cells](std::size_t cell, sim::Rng&) { return run_combo(cells[cell]); });
 
   bench::JsonWriter json;
+  bench::fill_standard_meta(json, "convergence_dynamics", args.threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("%s", results[i].text.c_str());
     const auto& m = results[i].metrics;

@@ -101,6 +101,7 @@ void evolution_run(const bench::Args& args) {
       });
 
   bench::JsonWriter json;
+  bench::fill_standard_meta(json, "deployment_evolution", args.threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("%s", results[i].text.c_str());
     char key[64];

@@ -476,6 +476,7 @@ int main(int argc, char** argv) {
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   evo::bench::JsonWriter json;
+  evo::bench::fill_standard_meta(json, "micro_substrate", 1);
   evo::JsonRecordingReporter reporter(json);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json_path.empty() && !json.write(json_path)) return 1;

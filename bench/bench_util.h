@@ -41,9 +41,16 @@ inline Args parse_args(int argc, char** argv) {
 
 /// Flat {metric → value} JSON artifact (BENCH_<name>.json): one number per
 /// metric, keys sorted, so committed baselines diff cleanly run-to-run.
+/// An optional "meta" object (bench name, thread count, git describe)
+/// carries provenance; bench_compare.py ignores it.
 class JsonWriter {
  public:
   void set(const std::string& name, double value) { values_[name] = value; }
+
+  /// String-valued provenance entry under the "meta" object.
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
 
   bool write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -52,6 +59,15 @@ class JsonWriter {
       return false;
     }
     std::fprintf(f, "{\n");
+    if (!meta_.empty()) {
+      std::fprintf(f, "  \"meta\": {");
+      std::size_t m = 0;
+      for (const auto& [key, value] : meta_) {
+        std::fprintf(f, "\"%s\": \"%s\"%s", key.c_str(), value.c_str(),
+                     ++m < meta_.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", values_.empty() ? "" : ",");
+    }
     std::size_t i = 0;
     for (const auto& [name, value] : values_) {
       std::fprintf(f, "  \"%s\": %.6g%s\n", name.c_str(), value,
@@ -67,7 +83,21 @@ class JsonWriter {
 
  private:
   std::map<std::string, double> values_;
+  std::map<std::string, std::string> meta_;
 };
+
+#ifndef EVO_GIT_DESCRIBE
+#define EVO_GIT_DESCRIBE "unknown"
+#endif
+
+/// Standard provenance for a bench artifact: which binary, how many sweep
+/// threads, which commit (EVO_GIT_DESCRIBE is stamped by CMake).
+inline void fill_standard_meta(JsonWriter& json, const std::string& bench_name,
+                               unsigned threads) {
+  json.set_meta("bench", bench_name);
+  json.set_meta("threads", std::to_string(threads));
+  json.set_meta("git", EVO_GIT_DESCRIBE);
+}
 
 /// A transit-stub Internet with hosts, started and converged.
 inline std::unique_ptr<core::EvolvableInternet> make_internet(

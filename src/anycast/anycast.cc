@@ -152,6 +152,11 @@ bool AnycastService::sync_bgp_origination(const Group& group, DomainId domain,
   if (!force && !flipped) return false;
   current = should;
 
+  if (recorder_ != nullptr && flipped) {
+    recorder_->instant(obs::Domain::kAnycast,
+                       should ? "anycast.originate" : "anycast.withdraw",
+                       group.id.value(), domain.value());
+  }
   if (!should) {
     bgp_->withdraw(domain, host_route);
     return flipped;

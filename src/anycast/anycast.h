@@ -112,6 +112,9 @@ class AnycastService {
     return net::Prefix{net::Ipv4Addr{0}, 16};
   }
 
+  /// Telemetry sink for origination transitions. Null by default.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   Group& mutable_group(net::GroupId id) { return groups_.at(id.value()); }
 
@@ -132,6 +135,7 @@ class AnycastService {
   net::Network& network_;
   bgp::BgpSystem* bgp_;
   std::function<igp::Igp*(net::DomainId)> igp_of_;
+  obs::Recorder* recorder_ = nullptr;
   std::vector<Group> groups_;
   /// Current origination state per (group, domain), so the reachability
   /// sweep only calls into BGP on transitions.

@@ -98,6 +98,10 @@ void BgpSystem::start() {
 }
 
 void BgpSystem::originate(DomainId domain, Prefix prefix, OriginationPolicy policy) {
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kBgp, "bgp.originate", domain.value(),
+                       (std::uint64_t{prefix.address().bits()} << 8) | prefix.length());
+  }
   for (const NodeId node : speakers_of(domain)) {
     auto& st = speaker(node);
     st.originated[prefix] = policy;
@@ -120,6 +124,10 @@ void BgpSystem::originate(DomainId domain, Prefix prefix, OriginationPolicy poli
 }
 
 void BgpSystem::withdraw(DomainId domain, Prefix prefix) {
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kBgp, "bgp.withdraw", domain.value(),
+                       (std::uint64_t{prefix.address().bits()} << 8) | prefix.length());
+  }
   for (const NodeId node : speakers_of(domain)) {
     auto& st = speaker(node);
     st.originated.erase(prefix);
@@ -240,6 +248,9 @@ void BgpSystem::flush_updates(NodeId node) {
   auto& st = speaker(node);
   const auto dirty = std::move(st.dirty);
   st.dirty.clear();
+  if (recorder_ != nullptr && !dirty.empty()) {
+    recorder_->instant(obs::Domain::kBgp, "bgp.flush", node.value(), dirty.size());
+  }
   for (const Prefix prefix : dirty) {
     const auto best = st.loc_rib.find(prefix);
     for (const std::size_t si : st.sessions) {
@@ -361,6 +372,13 @@ void BgpSystem::receive(NodeId local, NodeId from, std::size_t session_index,
 void BgpSystem::on_link_change(LinkId link_id) {
   const auto& link = network_.topology().link(link_id);
   if (!link.interdomain) return;
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kBgp,
+                       network_.topology().link_usable(link_id) ? "bgp.session.up"
+                                                                : "bgp.session.down",
+                       link_id.value(),
+                       (std::uint64_t{link.a.value()} << 32) | link.b.value());
+  }
   if (network_.topology().link_usable(link_id)) {
     // Sessions re-establish: both ends re-advertise their full Loc-RIBs.
     for (const NodeId end : {link.a, link.b}) {
@@ -400,6 +418,10 @@ void BgpSystem::on_link_change(LinkId link_id) {
 
 void BgpSystem::on_node_change(NodeId node, bool up) {
   if (!started_) return;
+  if (recorder_ != nullptr && is_speaker(node)) {
+    recorder_->instant(obs::Domain::kBgp,
+                       up ? "bgp.speaker.up" : "bgp.speaker.down", node.value());
+  }
   if (!up) {
     // The crashed speaker loses all volatile RIB state; `originated` stays
     // (it is configuration, restored below on recovery).

@@ -88,6 +88,10 @@ class BgpSystem {
   /// re-advertise their Loc-RIBs toward it.
   void on_node_change(net::NodeId node, bool up);
 
+  /// Telemetry sink for protocol point events (originations, session
+  /// transitions, update flushes). Null by default; records nothing unset.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   struct Session {
     net::NodeId local;
@@ -173,6 +177,7 @@ class BgpSystem {
   BgpConfig config_;
   std::vector<Session> sessions_;
   std::unordered_map<std::uint32_t, SpeakerState> speakers_;  // by NodeId value
+  obs::Recorder* recorder_ = nullptr;
   std::uint64_t messages_sent_ = 0;
   bool started_ = false;
 };

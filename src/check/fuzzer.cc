@@ -88,6 +88,10 @@ void apply_event(EvolvableInternet& internet, const FailureEvent& event,
         // Poke the topology directly: no protocol is notified, so FIBs
         // keep forwarding into the dead link — the bug class the oracles
         // exist to catch.
+        if (auto* recorder = internet.recorder()) {
+          recorder->instant(obs::Domain::kCheck, "check.inject.silent_link_down",
+                            event.subject);
+        }
         internet.network().topology().set_link_up(LinkId{event.subject}, false);
       } else {
         internet.set_link_up(LinkId{event.subject}, false);
@@ -246,13 +250,15 @@ ScenarioPlan generate_plan(std::uint64_t seed) {
   return plan;
 }
 
-RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options) {
+RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options,
+                   obs::Recorder* recorder) {
   RunReport report;
   net::Topology topology = net::generate_transit_stub(plan.topology);
   report.invalid = validate(plan, topology);
   if (!report.invalid.empty()) return report;
 
   EvolvableInternet internet{std::move(topology), options_for(plan)};
+  internet.set_recorder(recorder);
   internet.start();
   for (const NodeId router : plan.initial_deployment) {
     internet.deploy_router(router);
@@ -264,7 +270,13 @@ RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options) {
       drop_one_route(internet, plan.seed, episode);
     }
     auto violations = check_invariants(internet, options);
-    for (auto& violation : violations) violation.episode = episode;
+    for (auto& violation : violations) {
+      violation.episode = episode;
+      if (recorder != nullptr) {
+        recorder->instant(obs::Domain::kCheck, "check.violation", episode,
+                          static_cast<std::uint64_t>(violation.oracle));
+      }
+    }
     report.violations.insert(report.violations.end(), violations.begin(),
                              violations.end());
     ++report.episodes;
@@ -273,6 +285,13 @@ RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options) {
 
   if (check(0)) {
     for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      obs::SpanId episode_span;
+      if (recorder != nullptr) {
+        episode_span = recorder->open_span(
+            obs::Domain::kCheck, "check.episode", i + 1,
+            (std::uint64_t{static_cast<std::uint8_t>(plan.events[i].kind)} << 32) |
+                plan.events[i].subject);
+      }
       apply_event(internet, plan.events[i], plan.breakage);
       internet.simulator().run_events(plan.convergence_budget);
       if (!internet.simulator().idle()) {
@@ -281,11 +300,20 @@ RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options) {
              "still " + std::to_string(internet.simulator().pending_events()) +
                  " events pending after a budget of " +
                  std::to_string(plan.convergence_budget)});
+        if (recorder != nullptr) {
+          recorder->instant(
+              obs::Domain::kCheck, "check.violation", i + 1,
+              static_cast<std::uint64_t>(OracleKind::kConvergenceBudget));
+        }
         ++report.episodes;
         break;
       }
       internet.converge();
-      if (!check(i + 1)) break;
+      const bool clean = check(i + 1);
+      if (recorder != nullptr) {
+        recorder->close_span(episode_span, report.violations.size());
+      }
+      if (!clean) break;
     }
   }
 

@@ -15,6 +15,7 @@
 
 #include "check/oracles.h"
 #include "check/plan.h"
+#include "obs/recorder.h"
 
 namespace evo::check {
 
@@ -45,6 +46,11 @@ struct RunReport {
 };
 
 /// Build the scenario and play it to completion (or first violation).
-RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options = {});
+/// When `recorder` is non-null it is attached to every component for the
+/// whole run: episodes become check.episode spans, oracle violations become
+/// check.violation instants, and the recorder's always-on flight ring holds
+/// the events leading up to a failure (dump with obs::flight_text).
+RunReport run_plan(const ScenarioPlan& plan, const OracleOptions& options = {},
+                   obs::Recorder* recorder = nullptr);
 
 }  // namespace evo::check

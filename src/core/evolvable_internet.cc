@@ -66,7 +66,53 @@ std::size_t EvolvableInternet::add_generation(vnbone::VnBoneConfig config) {
       *network_, bgp_.get(), igp_accessor, *anycast_, config));
   host_stacks_.push_back(
       std::make_unique<host::HostStack>(*network_, *vnbones_.back()));
+  vnbones_.back()->set_recorder(recorder_);
   return vnbones_.size() - 1;
+}
+
+void EvolvableInternet::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  simulator_.set_recorder(recorder);
+  network_->set_recorder(recorder);
+  bgp_->set_recorder(recorder);
+  anycast_->set_recorder(recorder);
+  for (auto& igp : igps_) {
+    if (igp) igp->set_recorder(recorder);
+  }
+  for (auto& vnbone : vnbones_) vnbone->set_recorder(recorder);
+}
+
+void EvolvableInternet::open_igp_episode(DomainId domain) {
+  if (recorder_ == nullptr) return;
+  auto& episode = igp_episodes_[domain.value()];
+  if (episode.span.valid()) return;  // already reconverging: coalesce
+  const auto* igp = igps_[domain.value()].get();
+  episode.messages_at_open = igp != nullptr ? igp->messages_sent() : 0;
+  episode.span =
+      recorder_->open_span(obs::Domain::kIgp, "igp.reconvergence", domain.value());
+}
+
+void EvolvableInternet::open_bgp_episode(std::uint64_t subject) {
+  if (recorder_ == nullptr || bgp_episode_.span.valid()) return;
+  bgp_episode_.messages_at_open = bgp_->messages_sent();
+  bgp_episode_.span =
+      recorder_->open_span(obs::Domain::kBgp, "bgp.update_wave", subject);
+}
+
+void EvolvableInternet::close_episodes() {
+  if (recorder_ == nullptr) return;
+  for (auto& [domain, episode] : igp_episodes_) {
+    if (!episode.span.valid()) continue;
+    const auto* igp = igps_[domain].get();
+    const std::uint64_t sent = igp != nullptr ? igp->messages_sent() : 0;
+    recorder_->close_span(episode.span, sent - episode.messages_at_open);
+    episode.span = obs::SpanId{};
+  }
+  if (bgp_episode_.span.valid()) {
+    recorder_->close_span(bgp_episode_.span,
+                          bgp_->messages_sent() - bgp_episode_.messages_at_open);
+    bgp_episode_.span = obs::SpanId{};
+  }
 }
 
 void EvolvableInternet::start() {
@@ -105,15 +151,18 @@ std::uint64_t EvolvableInternet::converge() {
   }
   bgp_->install_routes();
   for (auto& vnbone : vnbones_) vnbone->rebuild();
+  close_episodes();
   return events;
 }
 
 void EvolvableInternet::notify_link_change(LinkId link) {
   const auto& l = network_->topology().link(link);
   if (l.interdomain) {
+    open_bgp_episode(link.value());
     bgp_->on_link_change(link);
   } else {
     const DomainId domain = network_->topology().router(l.a).domain;
+    open_igp_episode(domain);
     if (auto* igp = igps_[domain.value()].get()) igp->on_link_change(link);
   }
 }
@@ -131,6 +180,7 @@ void EvolvableInternet::schedule_control_sync() {
     }
     bgp_->install_routes();
     for (auto& vnbone : vnbones_) vnbone->rebuild();
+    close_episodes();
   });
 }
 
@@ -143,6 +193,7 @@ bool EvolvableInternet::set_link_up(LinkId link, bool up) {
 
 bool EvolvableInternet::set_node_up(NodeId node, bool up) {
   if (!network_->topology().set_node_up(node, up)) return false;
+  open_bgp_episode(node.value());
   bgp_->on_node_change(node, up);
   // Every administratively-up incident link just changed usability; IGPs
   // (and BGP sessions riding those links) react as if the link flapped.

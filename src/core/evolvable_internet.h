@@ -4,6 +4,7 @@
 // partial, incentive-driven rollout of IPvN (assumptions A1-A4).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -109,9 +110,27 @@ class EvolvableInternet {
   const host::HostStack& hosts() const { return *host_stacks_.front(); }
   const Options& options() const { return options_; }
 
+  /// Attach (or detach, with nullptr) a telemetry recorder to every
+  /// component: simulator queue, FIB compiler, IGPs, BGP, anycast, and all
+  /// vN-Bone generations. Control-plane episodes (IGP reconvergence per
+  /// domain, BGP update waves) become spans carrying message-count deltas,
+  /// opened when a change is injected and closed at the next quiescence.
+  void set_recorder(obs::Recorder* recorder);
+  obs::Recorder* recorder() { return recorder_; }
+
  private:
   /// Route a link-state change to the protocol that owns the link.
   void notify_link_change(net::LinkId link);
+
+  /// Episode spans: opened lazily on the first disturbance, closed (with
+  /// the protocol's messages_sent delta) at the next quiescent sync.
+  struct Episode {
+    obs::SpanId span;
+    std::uint64_t messages_at_open = 0;
+  };
+  void open_igp_episode(net::DomainId domain);
+  void open_bgp_episode(std::uint64_t subject);
+  void close_episodes();
 
   /// Arm a one-shot control-plane sync (BGP route installation + vN-Bone
   /// rebuilds) at the next simulator quiescence; coalesces repeat calls.
@@ -125,6 +144,9 @@ class EvolvableInternet {
   std::unique_ptr<anycast::AnycastService> anycast_;
   std::vector<std::unique_ptr<vnbone::VnBone>> vnbones_;
   std::vector<std::unique_ptr<host::HostStack>> host_stacks_;
+  obs::Recorder* recorder_ = nullptr;
+  std::map<std::uint32_t, Episode> igp_episodes_;  // by DomainId value
+  Episode bgp_episode_;
   bool started_ = false;
   bool sync_pending_ = false;
 };

@@ -107,6 +107,13 @@ void FailurePlane::arm_next() {
 }
 
 void FailurePlane::apply(const FailureEvent& event) {
+  obs::SpanId span;
+  if (auto* recorder = internet_.recorder()) {
+    span = recorder->open_span(
+        obs::Domain::kFailure, "failure.episode",
+        (std::uint64_t{static_cast<std::uint8_t>(event.kind)} << 32) |
+            event.subject);
+  }
   switch (event.kind) {
     case FailureKind::kLinkDown:
       internet_.set_link_up(LinkId{event.subject}, false);
@@ -138,9 +145,13 @@ void FailurePlane::apply(const FailureEvent& event) {
   // callback (apply() ran first), so by the time this fires the FIBs and
   // vN-Bones reflect the reconverged control plane.
   const sim::TimePoint hit = internet_.simulator().now();
-  internet_.simulator().notify_on_idle([this, hit] {
+  internet_.simulator().notify_on_idle([this, hit, span] {
     const sim::Duration took = internet_.simulator().now() - hit;
     metrics_.observe("net.failure.reconverge_ms", took.count_millis());
+    if (auto* recorder = internet_.recorder()) {
+      recorder->close_span(span,
+                           static_cast<std::uint64_t>(took.count_micros()));
+    }
     measure("after");
     arm_next();
   });

@@ -180,6 +180,11 @@ std::vector<DistanceVectorIgp::AdvertisedRoute> DistanceVectorIgp::routes_for(
 void DistanceVectorIgp::send_update(NodeId router, bool full) {
   auto& st = state(router);
   const auto& topo = network_.topology();
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kIgp,
+                       full ? "igp.dv.full_update" : "igp.dv.update",
+                       domain_.value(), router.value());
+  }
   for (const LinkId link_id : topo.router(router).links) {
     const auto& link = topo.link(link_id);
     if (link.interdomain || !topo.link_usable(link_id)) continue;

@@ -17,6 +17,7 @@
 #include "net/address.h"
 #include "net/graph.h"
 #include "net/ids.h"
+#include "obs/recorder.h"
 
 namespace evo::igp {
 
@@ -59,6 +60,13 @@ class Igp {
 
   /// Total protocol messages sent so far (for overhead experiments).
   virtual std::uint64_t messages_sent() const = 0;
+
+  /// Telemetry sink for protocol point events (SPF runs, update waves).
+  /// Null by default; implementations record nothing when unset.
+  virtual void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
+ protected:
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace evo::igp

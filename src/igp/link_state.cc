@@ -199,6 +199,10 @@ void LinkStateIgp::run_spf(NodeId router) {
   auto& st = state(router);
   st.spf_pending = false;
   ++spf_runs_;
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kIgp, "igp.ls.spf", domain_.value(),
+                       router.value());
+  }
 
   const net::Graph graph = lsdb_graph(st);
   st.spf = net::dijkstra(graph, router);

@@ -18,6 +18,10 @@ void DeliveryEngine::inject(NodeId node, Packet packet, DeliveredFn on_delivered
 void DeliveryEngine::drop(Network::TraceResult::Outcome reason, NodeId at,
                           const Packet& packet, const DroppedFn& on_dropped) {
   ++dropped_;
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kNet, "net.pkt.drop", at.value(),
+                       static_cast<std::uint64_t>(reason));
+  }
   if (on_dropped) on_dropped(reason, at, packet);
 }
 
@@ -26,6 +30,12 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
   const Ipv4Addr dst = packet.outer().v4.dst;
   if (network_.delivers_locally(node, dst)) {
     ++delivered_;
+    if (recorder_ != nullptr) {
+      recorder_->instant(
+          obs::Domain::kNet, "net.pkt.delivered", node.value(),
+          static_cast<std::uint64_t>(
+              (simulator_.now() - injected_at).count_micros()));
+    }
     on_delivered(node, packet, simulator_.now() - injected_at);
     return;
   }
@@ -51,6 +61,10 @@ void DeliveryEngine::step(NodeId node, Packet packet, sim::TimePoint injected_at
   --packet.outer().v4.ttl;
   ++hops_forwarded_;
   const NodeId next = entry->next_hop;
+  if (recorder_ != nullptr) {
+    recorder_->instant(obs::Domain::kNet, "net.pkt.hop", node.value(),
+                       next.value());
+  }
   auto continuation = [this, node, next, out_link, packet = std::move(packet),
                        injected_at, on_delivered = std::move(on_delivered),
                        on_dropped = std::move(on_dropped)]() mutable {

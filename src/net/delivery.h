@@ -25,6 +25,10 @@ class DeliveryEngine {
   /// References must outlive the engine and any in-flight packets.
   DeliveryEngine(sim::Simulator& simulator, const Network& network);
 
+  /// Telemetry sink for per-hop packet records (hop, delivered, drop).
+  /// Null by default; must outlive any in-flight packets when set.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   /// Inject `packet` at `node`. Exactly one of the callbacks fires,
   /// possibly synchronously (local delivery at the injection point).
   /// `on_dropped` may be empty. Forwarding acts on the packet's outermost
@@ -45,6 +49,7 @@ class DeliveryEngine {
 
   sim::Simulator& simulator_;
   const Network& network_;
+  obs::Recorder* recorder_ = nullptr;
   std::uint64_t hops_forwarded_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

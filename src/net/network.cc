@@ -67,6 +67,10 @@ const CompiledFib& Network::compiled_fib(NodeId node) const {
   if (compiled.epoch() != fib.epoch()) {
     compiled.compile(fib);
     ++forwarding_stats_.fib_compiles;
+    if (recorder_ != nullptr) {
+      recorder_->instant(obs::Domain::kNet, "net.fib.recompile", node.value(),
+                         fib.size());
+    }
   } else {
     ++forwarding_stats_.cache_hits;
   }

@@ -21,6 +21,7 @@
 #include "net/fib.h"
 #include "net/packet.h"
 #include "net/topology.h"
+#include "obs/recorder.h"
 #include "sim/metrics.h"
 #include "sim/time.h"
 
@@ -108,6 +109,11 @@ class Network {
   /// "net.forwarding.*" (traces, lookups, fib_compiles, cache_hits).
   void export_forwarding_metrics(sim::MetricRegistry& metrics) const;
 
+  /// Telemetry sink for data-plane structure events (per-router compiled
+  /// FIB recompiles). Null by default.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  obs::Recorder* recorder() const { return recorder_; }
+
   std::string describe(const TraceResult& result) const;
 
  private:
@@ -122,6 +128,7 @@ class Network {
   mutable std::vector<std::uint64_t> visit_mark_;
   mutable std::uint64_t visit_gen_ = 0;
   mutable ForwardingStats forwarding_stats_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 const char* to_string(Network::TraceResult::Outcome outcome);

@@ -1,0 +1,109 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace evo::obs {
+
+namespace {
+
+void append_event_json(std::string& out, const Event& e) {
+  char buf[384];
+  const std::uint64_t async_id =
+      (static_cast<std::uint64_t>(e.track) << 32) | e.span;
+  switch (e.phase) {
+    case Phase::kSpanOpen:
+    case Phase::kSpanClose:
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                    "\"ts\":%" PRId64 ",\"pid\":%u,\"tid\":%u,"
+                    "\"id\":\"0x%" PRIx64 "\","
+                    "\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                    e.name, to_string(e.domain),
+                    e.phase == Phase::kSpanOpen ? "b" : "e", e.at_us, e.track,
+                    static_cast<unsigned>(e.domain), async_id, e.a, e.b);
+      break;
+    case Phase::kInstant:
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"ts\":%" PRId64 ",\"pid\":%u,\"tid\":%u,"
+                    "\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                    e.name, to_string(e.domain), e.at_us, e.track,
+                    static_cast<unsigned>(e.domain), e.a, e.b);
+      break;
+  }
+  out += buf;
+}
+
+void append_time(std::string& out, std::int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.3fms", static_cast<double>(us) / 1000.0);
+  out += buf;
+}
+
+}  // namespace
+
+std::string perfetto_json(const Recorder& recorder) {
+  std::string out;
+  out.reserve(128 + recorder.log().size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& event : recorder.log()) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event_json(out, event);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string flight_text(const Recorder& recorder, std::size_t max_events) {
+  std::string out;
+  const auto events = recorder.tail(max_events);
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "# flight recorder: %zu of %" PRIu64
+                " events retained (ring capacity %zu)\n",
+                events.size(), recorder.recorded(), recorder.ring_capacity());
+  out += head;
+  for (const Event& e : events) {
+    out += "[";
+    append_time(out, e.at_us);
+    out += "] ";
+    char line[256];
+    if (e.phase == Phase::kInstant) {
+      std::snprintf(line, sizeof line, "%-8s %-10s %-28s a=%" PRIu64
+                    " b=%" PRIu64 "\n",
+                    to_string(e.domain), "instant", e.name, e.a, e.b);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-8s %-10s %-28s a=%" PRIu64 " b=%" PRIu64 " (span %u)\n",
+                    to_string(e.domain), to_string(e.phase), e.name, e.a, e.b,
+                    e.span);
+    }
+    out += line;
+  }
+  if (recorder.open_span_count() > 0) {
+    out += "# spans still open at dump time (oldest first):\n";
+    recorder.for_each_open_span(
+        [&out](std::uint32_t id, const char* name, Domain domain) {
+          char line[192];
+          std::snprintf(line, sizeof line, "#   span %u %s %s\n", id,
+                        to_string(domain), name);
+          out += line;
+        });
+  }
+  return out;
+}
+
+std::string write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "cannot open " + path + " for writing";
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) return "short write to " + path;
+  return "";
+}
+
+}  // namespace evo::obs

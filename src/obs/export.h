@@ -1,0 +1,40 @@
+// Trace exporters for obs::Recorder.
+//
+// perfetto_json() renders a recorder's full log as Chrome/Perfetto
+// trace-event JSON (load it at https://ui.perfetto.dev or
+// chrome://tracing). The output is strictly line-oriented — one event
+// object per line — which is what tools/trace_inspect parses, and it is
+// byte-deterministic: timestamps are integer simulated microseconds, names
+// are static strings, and event order is log order (cell-major after a
+// merge), so identical runs export identical bytes at any thread count.
+//
+// Mapping:
+//   span open/close -> async "b"/"e" pairs, id = (track<<32)|span;
+//   instant         -> "i" with thread scope;
+//   pid = track (sweep cell), tid = domain index, cat = domain name.
+//
+// flight_text() renders the bounded flight-recorder tail (plus any spans
+// still open) as a human-readable listing; the fuzzer writes it next to a
+// .replay reproducer when an oracle fires.
+#pragma once
+
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace evo::obs {
+
+/// The full log as a Perfetto/Chrome trace JSON document. Requires the
+/// recorder to have been in capture_all mode while recording.
+std::string perfetto_json(const Recorder& recorder);
+
+/// The flight ring's tail (newest `max_events` records) as readable text,
+/// newest last, followed by the list of spans still open.
+std::string flight_text(const Recorder& recorder,
+                        std::size_t max_events = static_cast<std::size_t>(-1));
+
+/// Write `content` to `path`. Returns an empty string on success, an error
+/// message otherwise. (Shared by the CLI and the fuzzer dump path.)
+std::string write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace evo::obs

@@ -1,0 +1,62 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+namespace evo::obs {
+
+const char* to_string(Domain domain) {
+  switch (domain) {
+    case Domain::kSim: return "sim";
+    case Domain::kNet: return "net";
+    case Domain::kIgp: return "igp";
+    case Domain::kBgp: return "bgp";
+    case Domain::kVnBone: return "vnbone";
+    case Domain::kAnycast: return "anycast";
+    case Domain::kFailure: return "failure";
+    case Domain::kCheck: return "check";
+  }
+  return "?";
+}
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kSpanOpen: return "open";
+    case Phase::kSpanClose: return "close";
+    case Phase::kInstant: return "instant";
+  }
+  return "?";
+}
+
+std::vector<Event> Recorder::tail(std::size_t max) const {
+  const std::size_t kept =
+      recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_) : ring_.size();
+  const std::size_t want = std::min(max, kept);
+  std::vector<Event> out;
+  out.reserve(want);
+  // Oldest retained record sits at ring_head_ once the ring has wrapped.
+  const std::size_t start =
+      (ring_head_ + ring_.size() - want) % ring_.size();
+  for (std::size_t i = 0; i < want; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Recorder::merge_from(const Recorder& other, std::uint32_t track) {
+  log_.reserve(log_.size() + other.log_.size());
+  for (Event event : other.log_) {
+    event.track = track;
+    log_.push_back(event);
+  }
+  recorded_ += other.recorded_;
+}
+
+void Recorder::clear() {
+  ring_head_ = 0;
+  recorded_ = 0;
+  log_.clear();
+  next_span_id_ = 1;
+  open_spans_.clear();
+}
+
+}  // namespace evo::obs

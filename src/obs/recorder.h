@@ -1,0 +1,179 @@
+// Sim-time structured telemetry: spans, point events, and a flight ring.
+//
+// A Recorder collects fixed-size Event records stamped with simulated time:
+//   - spans: open/close intervals for control-plane episodes (an IGP
+//     reconvergence, a BGP re-advertisement wave, a vN-Bone rebuild), each
+//     carrying message/churn counts on close;
+//   - instants: point events (a packet hop, a FIB recompile, an event-queue
+//     horizon rebase, an anycast origination flip).
+//
+// Two storage tiers:
+//   - the flight ring: a bounded, preallocated circular buffer that is
+//     always on. Recording into it never heap-allocates (InplaceFn-era
+//     discipline) — the tail is what gets dumped when a fuzzer oracle
+//     fires, the observability analogue of a crash reproducer;
+//   - the full log: an unbounded append vector, enabled explicitly
+//     (set_capture_all) for trace export and tests.
+//
+// Determinism: a Recorder consults no wall clock (time comes from an
+// attached simulated-clock pointer), names are static strings, and span ids
+// are a per-recorder monotonic counter — so identical runs produce
+// byte-identical logs. Under ParallelSweep, give every cell its own
+// Recorder and fold them with merge_from() in cell-index order (exactly the
+// MetricRegistry::merge_from discipline); each cell becomes one track and
+// the merged log is identical at any thread count.
+//
+// Instrumented modules hold an `obs::Recorder*` that is null by default;
+// every site is a single pointer test, so the disabled cost on hot paths
+// (schedule+fire, per-hop forwarding) is a predicted branch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace evo::obs {
+
+/// Which plane of the stack produced the record.
+enum class Domain : std::uint8_t {
+  kSim,
+  kNet,
+  kIgp,
+  kBgp,
+  kVnBone,
+  kAnycast,
+  kFailure,
+  kCheck,
+};
+
+const char* to_string(Domain domain);
+
+enum class Phase : std::uint8_t {
+  kSpanOpen,
+  kSpanClose,
+  kInstant,
+};
+
+const char* to_string(Phase phase);
+
+/// Handle to an open span; value 0 never names a live span, so a
+/// default-constructed SpanId is a safe "no span open" sentinel.
+struct SpanId {
+  std::uint32_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+/// One telemetry record. Fixed size, no owned heap state: `name` points at
+/// a static string literal supplied by the instrumentation site.
+struct Event {
+  std::int64_t at_us = 0;       // simulated time
+  const char* name = nullptr;   // static string; never owned
+  std::uint64_t a = 0;          // subject (node/link/domain id, count)
+  std::uint64_t b = 0;          // second subject / payload
+  std::uint32_t span = 0;       // span id; 0 for instants
+  std::uint32_t track = 0;      // sweep cell / merge track
+  Domain domain = Domain::kSim;
+  Phase phase = Phase::kInstant;
+};
+
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 4096;
+
+  explicit Recorder(std::size_t ring_capacity = kDefaultRingCapacity)
+      : ring_(ring_capacity > 0 ? ring_capacity : 1) {}
+
+  /// Attach the simulated clock so records carry sim timestamps; pass
+  /// nullptr to detach (records then carry t=0). The pointer must outlive
+  /// the attachment.
+  void attach_clock(const sim::TimePoint* now) { clock_ = now; }
+
+  /// Open a span. `a`/`b` identify the subject (e.g. domain id, link id).
+  SpanId open_span(Domain domain, const char* name, std::uint64_t a = 0,
+                   std::uint64_t b = 0) {
+    const SpanId id{next_span_id_++};
+    open_spans_.emplace(id.value, OpenSpan{name, domain});
+    push(Event{now_us(), name, a, b, id.value, 0, domain, Phase::kSpanOpen});
+    return id;
+  }
+
+  /// Close a span; `a`/`b` carry the episode's outcome counts (protocol
+  /// messages, route churn). Closing an invalid/unknown id is a no-op, so
+  /// callers can close unconditionally.
+  void close_span(SpanId id, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!id.valid()) return;
+    const auto it = open_spans_.find(id.value);
+    if (it == open_spans_.end()) return;
+    push(Event{now_us(), it->second.name, a, b, id.value, 0, it->second.domain,
+               Phase::kSpanClose});
+    open_spans_.erase(it);
+  }
+
+  /// Record a point event.
+  void instant(Domain domain, const char* name, std::uint64_t a = 0,
+               std::uint64_t b = 0) {
+    push(Event{now_us(), name, a, b, 0, 0, domain, Phase::kInstant});
+  }
+
+  // --- full log (export tier) ----------------------------------------------
+  /// Keep every record in an unbounded log (for export); off by default.
+  void set_capture_all(bool on) { capture_all_ = on; }
+  bool capture_all() const { return capture_all_; }
+  const std::vector<Event>& log() const { return log_; }
+
+  // --- flight ring (always-on tier) ----------------------------------------
+  std::size_t ring_capacity() const { return ring_.size(); }
+  /// Total records ever observed (ring overwrites included).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Records that have been overwritten out of the ring.
+  std::uint64_t overwritten() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  /// The retained tail in chronological order, newest last; at most `max`
+  /// (counted from the newest backwards).
+  std::vector<Event> tail(std::size_t max = static_cast<std::size_t>(-1)) const;
+
+  /// Spans currently open (flight dumps list them: an un-closed episode at
+  /// violation time is usually the interesting one).
+  std::size_t open_span_count() const { return open_spans_.size(); }
+  /// Visit open spans in id (= open) order.
+  template <typename Fn>
+  void for_each_open_span(Fn&& fn) const {
+    for (const auto& [id, span] : open_spans_) fn(id, span.name, span.domain);
+  }
+
+  /// Append `other`'s full log to this one, stamping every copied record
+  /// with `track`. Call in cell-index order to merge a parallel sweep's
+  /// per-cell recorders deterministically.
+  void merge_from(const Recorder& other, std::uint32_t track);
+
+  void clear();
+
+ private:
+  struct OpenSpan {
+    const char* name;
+    Domain domain;
+  };
+
+  std::int64_t now_us() const { return clock_ ? clock_->count_micros() : 0; }
+
+  void push(const Event& event) {
+    ring_[ring_head_] = event;
+    if (++ring_head_ == ring_.size()) ring_head_ = 0;
+    ++recorded_;
+    if (capture_all_) log_.push_back(event);
+  }
+
+  const sim::TimePoint* clock_ = nullptr;
+  std::vector<Event> ring_;
+  std::size_t ring_head_ = 0;
+  std::uint64_t recorded_ = 0;
+  bool capture_all_ = false;
+  std::vector<Event> log_;
+  std::uint32_t next_span_id_ = 1;
+  std::map<std::uint32_t, OpenSpan> open_spans_;  // ordered for determinism
+};
+
+}  // namespace evo::obs

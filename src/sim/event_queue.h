@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/inplace_fn.h"
 #include "sim/time.h"
 
@@ -102,12 +103,23 @@ class EventHandle {
 
 class EventQueue {
  public:
+  /// Health counters, cumulative over the queue's lifetime (clear() keeps
+  /// them). Exported by Simulator::export_queue_metrics as sim.queue.*.
+  struct Stats {
+    std::size_t live_high_water = 0;        // max simultaneous live events
+    std::uint64_t overflow_scheduled = 0;   // events that landed past the horizon
+    std::uint64_t overflow_redistributed = 0;  // overflow events pulled into the ring
+    std::uint64_t rebases = 0;              // horizon rebase operations
+  };
+
   EventQueue() : table_(std::make_shared<detail::SlotTable>()), ring_(kBuckets) {}
 
   EventHandle schedule(TimePoint when, EventFn fn) {
     const std::uint32_t slot = table_->acquire();
     const std::uint64_t gen = table_->gens[slot];
-    ++table_->live;
+    if (++table_->live > stats_.live_high_water) {
+      stats_.live_high_water = table_->live;
+    }
     insert(Entry{when, next_seq_++, gen, slot, std::move(fn)});
     return EventHandle{table_, slot, gen};
   }
@@ -118,6 +130,12 @@ class EventQueue {
   /// Exact number of live events. O(1): the counter is decremented on both
   /// cancel and fire, so cancelled entries never inflate it.
   std::size_t size() const { return table_->live; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Telemetry sink for rare structural events (horizon rebases). Null by
+  /// default; never consulted on the schedule/pop fast path.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
   /// Time of the earliest live event; TimePoint::max() if none.
   TimePoint next_time() const {
@@ -202,6 +220,7 @@ class EventQueue {
     } else {
       overflow_min_ab_ = std::min(overflow_min_ab_, ab);
       overflow_.push_back(std::move(entry));
+      ++stats_.overflow_scheduled;
     }
   }
 
@@ -257,6 +276,13 @@ class EventQueue {
           ++keep;
         }
       }
+      stats_.overflow_redistributed += overflow_.size() - keep;
+      ++stats_.rebases;
+      if (recorder_ != nullptr) {
+        recorder_->instant(obs::Domain::kSim, "sim.queue.rebase",
+                           static_cast<std::uint64_t>(base_abs_),
+                           static_cast<std::uint64_t>(overflow_.size() - keep));
+      }
       overflow_.resize(keep);
       overflow_min_ab_ = new_min;
     }
@@ -271,6 +297,8 @@ class EventQueue {
   mutable std::int64_t base_abs_ = 0;  // absolute bucket index of active_
   mutable std::vector<Entry> overflow_;
   mutable std::int64_t overflow_min_ab_ = kNoOverflow;
+  mutable Stats stats_;  // rebase counters advance inside const queries
+  obs::Recorder* recorder_ = nullptr;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "sim/metrics.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 namespace evo::sim {
@@ -39,13 +41,19 @@ void Summary::ensure_sorted() const {
 }
 
 double Summary::percentile(double p) const {
+  // NaN compares false against every bound below and its cast to an index
+  // is undefined, so reject it outright rather than return samples_[?].
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   if (samples_.empty()) return 0.0;
   ensure_sorted();
   if (p <= 0.0) return samples_.front();
   if (p >= 100.0) return samples_.back();
-  // Nearest-rank (ceil) definition.
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  // Nearest-rank (ceil) definition. p/100*n picks up FP noise at exact
+  // rank boundaries (99.9/100*1000 = 999.0000000000001, whose ceil lands
+  // one rank high); a relative nudge absorbs it without moving any
+  // genuinely fractional rank.
+  const double exact = p / 100.0 * static_cast<double>(samples_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(exact * (1.0 - 1e-12)));
   return samples_[std::max<std::size_t>(rank, 1) - 1];
 }
 
@@ -54,8 +62,9 @@ std::string Summary::brief() const {
   // add() invalidates (regression-tested in test_metrics.cc).
   char buf[192];
   std::snprintf(buf, sizeof buf,
-                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f", count(),
-                mean(), percentile(50), percentile(95), percentile(99), max());
+                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f p99.9=%.3f max=%.3f",
+                count(), mean(), percentile(50), percentile(95), percentile(99),
+                percentile(99.9), max());
   return buf;
 }
 

@@ -14,7 +14,9 @@
 #include <functional>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 #include "sim/time.h"
 
 namespace evo::sim {
@@ -41,6 +43,26 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Stable pointer to the simulated clock, for telemetry consumers that
+  /// stamp records with sim time (obs::Recorder::attach_clock, Logger).
+  const TimePoint* clock() const { return &now_; }
+
+  /// Attach (or detach, with nullptr) a telemetry recorder: the recorder's
+  /// clock follows this simulator and the event queue reports structural
+  /// events (horizon rebases) to it. The schedule/fire fast path is not
+  /// instrumented — recorder-off overhead there is zero.
+  void set_recorder(obs::Recorder* recorder) {
+    if (recorder != nullptr) recorder->attach_clock(&now_);
+    queue_.set_recorder(recorder);
+  }
+
+  /// The event queue's health counters (live high-water mark, overflow
+  /// traffic, horizon rebases).
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
+  /// Add the queue health counters to `metrics` as sim.queue.* totals.
+  void export_queue_metrics(MetricRegistry& metrics) const;
 
   /// Register a one-shot callback fired the next time the event queue
   /// drains to empty during run()/run_until()/run_events(). Callbacks fire

@@ -149,7 +149,17 @@ void VnBone::rebuild() {
   links_.clear();
   partition_repairs_ = 0;
   bootstrap_tunnels_ = 0;
-  if (deployed_.empty()) return;
+  obs::SpanId span;
+  if (recorder_ != nullptr) {
+    span = recorder_->open_span(obs::Domain::kVnBone, "vnbone.rebuild",
+                                deployed_.size());
+  }
+  // Every exit below must pass through the close at the end of this
+  // function; the only other return is the empty-deployment one here.
+  if (deployed_.empty()) {
+    if (recorder_ != nullptr) recorder_->close_span(span);
+    return;
+  }
 
   const auto& topo = network_.topology();
   const auto domains = deployed_domains();
@@ -367,6 +377,11 @@ void VnBone::rebuild() {
     add_link(stranded, target, target_d, true,
              VirtualLink::Source::kAnycastBootstrap);
     ++bootstrap_tunnels_;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->close_span(span, links_.size(),
+                          (std::uint64_t{partition_repairs_} << 32) |
+                              static_cast<std::uint32_t>(bootstrap_tunnels_));
   }
 }
 

@@ -169,6 +169,10 @@ class VnBone {
   std::size_t partition_repairs() const { return partition_repairs_; }
   std::size_t bootstrap_tunnels() const { return bootstrap_tunnels_; }
 
+  /// Telemetry sink: rebuild() episodes become spans carrying link and
+  /// repair counts. Null by default.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   // --- vN routing -----------------------------------------------------------
   struct VnRoute {
     bool ok = false;
@@ -235,6 +239,7 @@ class VnBone {
   bgp::BgpSystem* bgp_;
   std::function<igp::Igp*(net::DomainId)> igp_of_;
   anycast::AnycastService& anycast_;
+  obs::Recorder* recorder_ = nullptr;
   VnBoneConfig config_;
 
   net::GroupId group_ = net::GroupId::invalid();

@@ -1,0 +1,365 @@
+// The telemetry substrate: Recorder semantics (spans, instants, flight
+// ring, merge), the Perfetto/flight exporters, and the determinism
+// contract — a scripted scenario swept in parallel must export
+// byte-identical trace JSON at any thread count, and those bytes are
+// pinned by a committed golden file (tests/obs/golden_trace.json;
+// regenerate with EVO_OBS_REGEN_GOLDEN=1 after intentional
+// instrumentation changes).
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "core/evolvable_internet.h"
+#include "net/topology_gen.h"
+#include "obs/export.h"
+#include "sim/parallel.h"
+#include "sim/time.h"
+
+namespace evo::obs {
+namespace {
+
+// --- Recorder ---------------------------------------------------------------
+
+TEST(Recorder, SpanOpenCloseRoundTrip) {
+  Recorder recorder;
+  recorder.set_capture_all(true);
+  const SpanId span = recorder.open_span(Domain::kIgp, "igp.reconvergence", 7);
+  EXPECT_TRUE(span.valid());
+  EXPECT_EQ(recorder.open_span_count(), 1u);
+  recorder.close_span(span, /*a=*/42, /*b=*/3);
+  EXPECT_EQ(recorder.open_span_count(), 0u);
+
+  ASSERT_EQ(recorder.log().size(), 2u);
+  const Event& open = recorder.log()[0];
+  const Event& close = recorder.log()[1];
+  EXPECT_EQ(open.phase, Phase::kSpanOpen);
+  EXPECT_EQ(open.a, 7u);
+  EXPECT_EQ(open.span, span.value);
+  EXPECT_EQ(close.phase, Phase::kSpanClose);
+  EXPECT_EQ(close.a, 42u);
+  EXPECT_EQ(close.b, 3u);
+  EXPECT_EQ(close.span, span.value);
+  EXPECT_STREQ(close.name, "igp.reconvergence");
+}
+
+TEST(Recorder, SpanIdsAreMonotonicFromOne) {
+  Recorder recorder;
+  const SpanId first = recorder.open_span(Domain::kBgp, "bgp.update_wave");
+  const SpanId second = recorder.open_span(Domain::kBgp, "bgp.update_wave");
+  EXPECT_EQ(first.value, 1u);
+  EXPECT_EQ(second.value, 2u);
+  EXPECT_FALSE(SpanId{}.valid());
+}
+
+TEST(Recorder, ClosingInvalidOrUnknownSpanIsNoOp) {
+  Recorder recorder;
+  recorder.close_span(SpanId{});     // default sentinel
+  recorder.close_span(SpanId{99});   // never opened
+  EXPECT_EQ(recorder.recorded(), 0u);
+  const SpanId span = recorder.open_span(Domain::kSim, "sim.window");
+  recorder.close_span(span);
+  recorder.close_span(span);  // double close
+  EXPECT_EQ(recorder.recorded(), 2u);
+}
+
+TEST(Recorder, InstantRecordsPointEvent) {
+  Recorder recorder;
+  recorder.instant(Domain::kNet, "net.fib.recompile", 5, 17);
+  const auto tail = recorder.tail();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].phase, Phase::kInstant);
+  EXPECT_EQ(tail[0].span, 0u);
+  EXPECT_EQ(tail[0].a, 5u);
+  EXPECT_EQ(tail[0].b, 17u);
+  EXPECT_EQ(tail[0].domain, Domain::kNet);
+}
+
+TEST(Recorder, FlightRingKeepsNewestTail) {
+  Recorder recorder(/*ring_capacity=*/8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    recorder.instant(Domain::kSim, "tick", i);
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.overwritten(), 12u);
+  const auto tail = recorder.tail();
+  ASSERT_EQ(tail.size(), 8u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].a, 12u + i);  // chronological, newest last
+  }
+  const auto last3 = recorder.tail(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].a, 17u);
+  EXPECT_EQ(last3[2].a, 19u);
+}
+
+TEST(Recorder, CaptureAllLogOutlivesRingWrap) {
+  Recorder recorder(/*ring_capacity=*/4);
+  recorder.set_capture_all(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.instant(Domain::kSim, "tick", i);
+  }
+  EXPECT_EQ(recorder.log().size(), 10u);
+  EXPECT_EQ(recorder.tail().size(), 4u);
+  // Off by default: a fresh recorder keeps no unbounded state.
+  Recorder fresh;
+  fresh.instant(Domain::kSim, "tick");
+  EXPECT_FALSE(fresh.capture_all());
+  EXPECT_TRUE(fresh.log().empty());
+}
+
+TEST(Recorder, AttachedClockStampsSimTime) {
+  sim::TimePoint now = sim::TimePoint::origin() + sim::Duration::millis(5);
+  Recorder recorder;
+  recorder.instant(Domain::kSim, "before-attach");
+  recorder.attach_clock(&now);
+  recorder.instant(Domain::kSim, "at-5ms");
+  now = now + sim::Duration::millis(2);
+  recorder.instant(Domain::kSim, "at-7ms");
+  const auto tail = recorder.tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].at_us, 0);
+  EXPECT_EQ(tail[1].at_us, 5000);
+  EXPECT_EQ(tail[2].at_us, 7000);
+}
+
+TEST(Recorder, MergeFromStampsTrackAndAccumulates) {
+  Recorder cell0, cell1;
+  cell0.set_capture_all(true);
+  cell1.set_capture_all(true);
+  const SpanId span = cell0.open_span(Domain::kIgp, "igp.reconvergence");
+  cell0.close_span(span);
+  cell1.instant(Domain::kBgp, "bgp.flush", 9);
+
+  Recorder merged;
+  merged.merge_from(cell0, 0);
+  merged.merge_from(cell1, 1);
+  ASSERT_EQ(merged.log().size(), 3u);
+  EXPECT_EQ(merged.log()[0].track, 0u);
+  EXPECT_EQ(merged.log()[1].track, 0u);
+  EXPECT_EQ(merged.log()[2].track, 1u);
+  EXPECT_STREQ(merged.log()[2].name, "bgp.flush");
+  EXPECT_EQ(merged.recorded(), cell0.recorded() + cell1.recorded());
+}
+
+TEST(Recorder, ClearResetsEverything) {
+  Recorder recorder;
+  recorder.set_capture_all(true);
+  recorder.open_span(Domain::kSim, "window");
+  recorder.instant(Domain::kSim, "tick");
+  recorder.clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.open_span_count(), 0u);
+  EXPECT_TRUE(recorder.log().empty());
+  EXPECT_TRUE(recorder.tail().empty());
+  // Span ids restart, preserving the golden-trace determinism contract.
+  EXPECT_EQ(recorder.open_span(Domain::kSim, "window").value, 1u);
+}
+
+TEST(Recorder, DomainAndPhaseNames) {
+  EXPECT_STREQ(to_string(Domain::kVnBone), "vnbone");
+  EXPECT_STREQ(to_string(Domain::kCheck), "check");
+  EXPECT_STREQ(to_string(Phase::kSpanOpen), "open");
+  EXPECT_STREQ(to_string(Phase::kInstant), "instant");
+}
+
+// --- Exporters --------------------------------------------------------------
+
+TEST(Export, PerfettoJsonShapesSpansAndInstants) {
+  sim::TimePoint now = sim::TimePoint::origin() + sim::Duration::millis(1);
+  Recorder recorder;
+  recorder.set_capture_all(true);
+  recorder.attach_clock(&now);
+  const SpanId span = recorder.open_span(Domain::kIgp, "igp.reconvergence", 2);
+  now = now + sim::Duration::millis(3);
+  recorder.instant(Domain::kNet, "net.fib.recompile", 4, 1);
+  recorder.close_span(span, 10);
+
+  const std::string json = perfetto_json(recorder);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"igp\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":4000"), std::string::npos);
+  // Async-span id encodes (track << 32) | span; track 0, span 1 -> 0x1.
+  EXPECT_NE(json.find("\"id\":\"0x1\""), std::string::npos);
+}
+
+TEST(Export, PerfettoJsonIdSeparatesTracks) {
+  Recorder cell;
+  cell.set_capture_all(true);
+  cell.close_span(cell.open_span(Domain::kIgp, "igp.reconvergence"));
+  Recorder merged;
+  merged.merge_from(cell, /*track=*/3);
+  const std::string json = perfetto_json(merged);
+  // Same span id on track 3 must not collide with track 0's 0x1.
+  EXPECT_NE(json.find("\"id\":\"0x300000001\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(Export, FlightTextListsTailAndOpenSpans) {
+  sim::TimePoint now = sim::TimePoint::origin() + sim::Duration::millis(12);
+  Recorder recorder;
+  recorder.attach_clock(&now);
+  recorder.open_span(Domain::kCheck, "check.episode", 1);
+  recorder.instant(Domain::kCheck, "check.inject.silent_link_down", 19);
+
+  const std::string text = flight_text(recorder);
+  EXPECT_NE(text.find("# flight recorder: 2 of 2 events retained"),
+            std::string::npos);
+  EXPECT_NE(text.find("check.inject.silent_link_down"), std::string::npos);
+  EXPECT_NE(text.find("a=19"), std::string::npos);
+  // The unconverged episode shows up in the open-span listing.
+  EXPECT_NE(text.find("# spans still open at dump time"), std::string::npos);
+  EXPECT_NE(text.find("span 1 check check.episode"), std::string::npos);
+}
+
+TEST(Export, FlightTextHonorsMaxEvents) {
+  Recorder recorder;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.instant(Domain::kSim, "tick", i);
+  }
+  const std::string text = flight_text(recorder, /*max_events=*/2);
+  EXPECT_NE(text.find("# flight recorder: 2 of 10 events retained"),
+            std::string::npos);
+  EXPECT_EQ(text.find("a=7 "), std::string::npos);
+  EXPECT_NE(text.find("a=8 "), std::string::npos);
+  EXPECT_NE(text.find("a=9 "), std::string::npos);
+}
+
+TEST(Export, WriteTextFileRoundTrips) {
+  const std::string path = testing::TempDir() + "/obs_write_test.txt";
+  EXPECT_EQ(write_text_file(path, "hello\n"), "");
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "hello\n");
+  std::remove(path.c_str());
+  EXPECT_NE(write_text_file("/nonexistent-dir/x/y.txt", "x"), "");
+}
+
+// --- Live instrumentation --------------------------------------------------
+
+TEST(Instrumentation, LinkFlapOpensAndClosesEpisodeSpans) {
+  core::EvolvableInternet net(net::generate_transit_stub(
+      {.transit_domains = 2, .stubs_per_transit = 1, .seed = 21}));
+  net.start();
+  Recorder recorder;
+  recorder.set_capture_all(true);
+  net.set_recorder(&recorder);
+  net.set_link_up(net::LinkId{0}, false);
+  net.converge();
+  net.set_link_up(net::LinkId{0}, true);
+  net.converge();
+  net.set_recorder(nullptr);
+
+  bool saw_igp_open = false, saw_igp_close = false;
+  for (const Event& e : recorder.log()) {
+    if (std::string_view(e.name) == "igp.reconvergence") {
+      saw_igp_open |= e.phase == Phase::kSpanOpen;
+      saw_igp_close |= e.phase == Phase::kSpanClose;
+    }
+  }
+  EXPECT_TRUE(saw_igp_open);
+  EXPECT_TRUE(saw_igp_close);
+  EXPECT_EQ(recorder.open_span_count(), 0u)
+      << "converged network must leave no episode open";
+}
+
+TEST(Instrumentation, FuzzerRunEmitsCheckEpisodes) {
+  const auto plan = check::generate_plan(7);
+  Recorder recorder;
+  recorder.set_capture_all(true);
+  const auto report = check::run_plan(plan, {}, &recorder);
+  ASSERT_TRUE(report.invalid.empty());
+  std::size_t episodes = 0;
+  for (const Event& e : recorder.log()) {
+    episodes += e.domain == Domain::kCheck && e.phase == Phase::kSpanOpen;
+  }
+  EXPECT_EQ(episodes, plan.events.size());
+
+  // The same seed with a recorder attached stays observationally identical
+  // to a bare run: instrumentation must not perturb the simulation.
+  const auto bare = check::run_plan(plan);
+  EXPECT_EQ(report.digest, bare.digest);
+  EXPECT_EQ(report.episodes, bare.episodes);
+}
+
+// --- Determinism under ParallelSweep (the S4 golden contract) ---------------
+
+constexpr std::size_t kGoldenCells = 3;
+
+// One scripted sweep cell: a small two-tier Internet, recorded only
+// through a down/up flap of link `cell` so the trace stays compact.
+void run_golden_cell(std::size_t cell, Recorder& recorder) {
+  core::EvolvableInternet net(net::generate_transit_stub(
+      {.transit_domains = 2,
+       .stubs_per_transit = 1,
+       .seed = 40 + static_cast<std::uint64_t>(cell)}));
+  net.start();
+  recorder.set_capture_all(true);
+  net.set_recorder(&recorder);
+  const net::LinkId victim{static_cast<std::uint32_t>(cell)};
+  net.set_link_up(victim, false);
+  net.converge();
+  net.set_link_up(victim, true);
+  net.converge();
+  net.set_recorder(nullptr);
+}
+
+std::string golden_trace(unsigned threads) {
+  // Recorders live outside the sweep, pre-sized and indexed by cell, then
+  // fold in cell order — the MetricRegistry::merge_from discipline.
+  std::vector<Recorder> recorders(kGoldenCells);
+  const sim::ParallelSweep pool(threads);
+  pool.run(kGoldenCells, /*sweep_seed=*/40,
+           [&recorders](std::size_t cell, sim::Rng&) {
+             run_golden_cell(cell, recorders[cell]);
+             return sim::CellResult{};
+           });
+  Recorder merged;
+  for (std::size_t cell = 0; cell < kGoldenCells; ++cell) {
+    merged.merge_from(recorders[cell], static_cast<std::uint32_t>(cell));
+  }
+  return perfetto_json(merged);
+}
+
+TEST(GoldenTrace, ByteIdenticalAcrossThreadCounts) {
+  const std::string serial = golden_trace(1);
+  const std::string parallel = golden_trace(4);
+  EXPECT_EQ(serial, parallel);
+  // The trace is non-trivial and multi-track.
+  EXPECT_NE(serial.find("igp.reconvergence"), std::string::npos);
+  EXPECT_NE(serial.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(GoldenTrace, MatchesCommittedGoldenFile) {
+  const std::string trace = golden_trace(2);
+  const std::string path = EVO_OBS_GOLDEN_TRACE;
+  if (std::getenv("EVO_OBS_REGEN_GOLDEN") != nullptr) {
+    ASSERT_EQ(write_text_file(path, trace), "");
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with EVO_OBS_REGEN_GOLDEN=1)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(trace, buf.str())
+      << "trace bytes drifted from tests/obs/golden_trace.json; if the "
+         "instrumentation change is intentional, rerun with "
+         "EVO_OBS_REGEN_GOLDEN=1 and commit the refreshed golden file";
+}
+
+}  // namespace
+}  // namespace evo::obs

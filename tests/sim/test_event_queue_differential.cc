@@ -163,6 +163,63 @@ TEST(EventQueueDifferential, RandomTracesMatchReferenceHeap) {
   }
 }
 
+TEST(EventQueueDifferential, HealthCountersStaySane) {
+  // The sim.queue.* counters must agree with a hand-tracked model of the
+  // same trace: high-water equals the max simultaneous live count, every
+  // far-horizon schedule lands in overflow, and draining past the 256 x
+  // 1024us ring horizon forces at least one rebase that pulls overflow
+  // events back (never more than were put in).
+  Rng rng{7};
+  EventQueue queue;
+  std::size_t live = 0, high_water = 0;
+  std::uint64_t past_horizon = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto us = rng.uniform_int(0, 3'000'000);
+    if (us >= 256 * 1024) ++past_horizon;
+    queue.schedule(TimePoint{us}, [] {});
+    high_water = std::max(high_water, ++live);
+  }
+  const auto& stats = queue.stats();
+  EXPECT_EQ(stats.live_high_water, high_water);
+  EXPECT_EQ(stats.overflow_scheduled, past_horizon);
+  ASSERT_GT(past_horizon, 0u);  // the draw range guarantees overflow traffic
+  while (!queue.empty()) queue.pop();
+  EXPECT_GE(stats.rebases, 1u);
+  EXPECT_LE(stats.overflow_redistributed, stats.overflow_scheduled);
+  EXPECT_GT(stats.overflow_redistributed, 0u);
+}
+
+TEST(EventQueueDifferential, HealthCountersSurviveRandomTraces) {
+  // Same randomized trace shape as the reference-heap test: whatever the
+  // mix of schedules, cancels, clears, and pops, the counters stay
+  // internally consistent (they count schedules, not surviving events).
+  Rng rng{4242};
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  std::size_t scheduled = 0;
+  TimePoint now = TimePoint::origin();
+  for (int op = 0; op < 3000; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.5) {
+      handles.push_back(queue.schedule(draw_when(rng, now, {}), [] {}));
+      ++scheduled;
+    } else if (roll < 0.6 && !handles.empty()) {
+      handles[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(handles.size()) - 1))]
+          .cancel();
+    } else if (roll < 0.61) {
+      queue.clear();
+    } else if (!queue.empty()) {
+      now = std::max(now, queue.pop().when);
+    }
+  }
+  const auto& stats = queue.stats();
+  EXPECT_LE(stats.live_high_water, scheduled);
+  EXPECT_GE(stats.live_high_water, 1u);
+  EXPECT_LE(stats.overflow_scheduled, scheduled);
+  EXPECT_LE(stats.overflow_redistributed, stats.overflow_scheduled);
+}
+
 TEST(EventQueueDifferential, PopNeverGoesBackwardsAcrossEpochs) {
   // Long-horizon stress: periodic timers at many scales force repeated
   // ring wraps and overflow redistributions.

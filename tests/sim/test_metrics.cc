@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace evo::sim {
 namespace {
 
@@ -53,6 +55,24 @@ TEST(Summary, BriefIncludesP99) {
   const auto brief = s.brief();
   EXPECT_NE(brief.find("p95=95.000"), std::string::npos) << brief;
   EXPECT_NE(brief.find("p99=99.000"), std::string::npos) << brief;
+  EXPECT_NE(brief.find("p99.9=100.000"), std::string::npos) << brief;
+}
+
+TEST(Summary, PercentileRejectsNaN) {
+  Summary s;
+  EXPECT_TRUE(std::isnan(s.percentile(std::nan(""))));  // even when empty
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_TRUE(std::isnan(s.percentile(std::nan(""))));
+  // ...and a NaN query must not poison the sorted cache for real queries.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+}
+
+TEST(Summary, TailPercentileDistinguishesP999) {
+  // 1000 samples: p99 and p99.9 land on different ranks under nearest-rank.
+  Summary s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(99), 990.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 999.0);
 }
 
 TEST(Summary, BriefResortsAfterLaterAdds) {

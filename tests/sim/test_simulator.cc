@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <vector>
 
 namespace evo::sim {
@@ -116,6 +117,36 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
   sim.run();
   EXPECT_TRUE(ran);
   EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(42));
+}
+
+TEST(Simulator, ExportsQueueHealthMetrics) {
+  Simulator sim;
+  // One near event and one past the 256 x 1024us calendar horizon, so both
+  // the live high-water mark and the overflow path have something to show.
+  sim.schedule_after(Duration::millis(1), [] {});
+  sim.schedule_after(Duration::millis(300'000), [] {});
+  sim.run();
+  MetricRegistry metrics;
+  sim.export_queue_metrics(metrics);
+  EXPECT_EQ(metrics.counter("sim.queue.live_high_water"), 2);
+  EXPECT_EQ(metrics.counter("sim.queue.overflow_scheduled"), 1);
+  EXPECT_GE(metrics.counter("sim.queue.rebases"), 1);
+  EXPECT_EQ(metrics.counter("sim.queue.overflow_redistributed"), 1);
+}
+
+TEST(Simulator, RecorderSeesQueueRebases) {
+  Simulator sim;
+  obs::Recorder recorder;
+  sim.set_recorder(&recorder);
+  sim.schedule_after(Duration::millis(300'000), [] {});
+  sim.run();
+  ASSERT_GE(recorder.recorded(), 1u);
+  const auto tail = recorder.tail(16);
+  bool saw_rebase = false;
+  for (const auto& event : tail) {
+    if (std::string_view{event.name} == "sim.queue.rebase") saw_rebase = true;
+  }
+  EXPECT_TRUE(saw_rebase);
 }
 
 }  // namespace

@@ -57,6 +57,10 @@ def main():
     current = {}
     for run in runs:
         for name, value in run.items():
+            # The "meta" provenance object (and any other non-numeric
+            # entry) is informational, never gated.
+            if not isinstance(value, (int, float)):
+                continue
             value = float(value)
             if name not in current:
                 current[name] = value
@@ -68,6 +72,8 @@ def main():
     regressions = []
     compared = 0
     for name in sorted(baseline):
+        if not isinstance(baseline[name], (int, float)):
+            continue
         direction = classify(name)
         if direction == 0 or name not in current:
             if name not in current:

@@ -21,6 +21,8 @@
 #include "check/fuzzer.h"
 #include "check/replay.h"
 #include "check/shrink.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 
 namespace {
 
@@ -36,6 +38,8 @@ struct Args {
   std::string replay_path;
   std::string shrink_out = "fuzz_repro.replay";
   std::string dump_plan_path;
+  /// With --replay: write a full Perfetto trace of the run here.
+  std::string trace_path;
   Breakage breakage = Breakage::kNone;
   std::size_t shrink_runs = 400;
 };
@@ -45,6 +49,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--iterations N] [--seed S] [--time-budget 120s]\n"
       "          [--replay FILE] [--dump-plan FILE] [--shrink-out FILE]\n"
+      "          [--trace FILE]   (with --replay: Perfetto trace of the run)\n"
       "          [--break none|silent-link-down|drop-route|split-horizon]\n"
       "          [--shrink-runs N]\n",
       argv0);
@@ -97,6 +102,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.dump_plan_path = v;
+    } else if (flag == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.trace_path = v;
     } else if (flag == "--shrink-out") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -121,6 +130,28 @@ std::optional<Args> parse_args(int argc, char** argv) {
 void print_violations(const RunReport& report) {
   for (const auto& violation : report.violations) {
     std::printf("  violation %s\n", violation.describe().c_str());
+  }
+}
+
+/// "foo.replay" -> "foo.flight"; anything else gets ".flight" appended.
+std::string flight_path_for(const std::string& replay_path) {
+  const std::string suffix = ".replay";
+  if (replay_path.size() > suffix.size() &&
+      replay_path.compare(replay_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+    return replay_path.substr(0, replay_path.size() - suffix.size()) + ".flight";
+  }
+  return replay_path + ".flight";
+}
+
+/// Dump the flight-recorder tail of a failing run next to the reproducer.
+void dump_flight(const evo::obs::Recorder& recorder, const std::string& path) {
+  const std::string error =
+      evo::obs::write_text_file(path, evo::obs::flight_text(recorder, 256));
+  if (error.empty()) {
+    std::printf("flight recorder dumped to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
   }
 }
 
@@ -150,7 +181,18 @@ int run_replay(const Args& args) {
                  parsed.error.c_str());
     return 2;
   }
-  const RunReport report = evo::check::run_plan(parsed.plan);
+  evo::obs::Recorder recorder;
+  if (!args.trace_path.empty()) recorder.set_capture_all(true);
+  const RunReport report = evo::check::run_plan(parsed.plan, {}, &recorder);
+  if (!args.trace_path.empty()) {
+    const std::string error = evo::obs::write_text_file(
+        args.trace_path, evo::obs::perfetto_json(recorder));
+    if (error.empty()) {
+      std::printf("trace written to %s\n", args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+  }
   if (!report.invalid.empty()) {
     std::printf("replay %s invalid: %s\n", args.replay_path.c_str(),
                 report.invalid.c_str());
@@ -161,6 +203,9 @@ int run_replay(const Args& args) {
               args.replay_path.c_str(), parsed.plan.seed, report.digest,
               report.episodes, report.violations.size());
   print_violations(report);
+  if (!report.violations.empty()) {
+    dump_flight(recorder, flight_path_for(args.replay_path));
+  }
   return report.clean() ? 0 : 1;
 }
 
@@ -182,7 +227,8 @@ int run_campaign(const Args& args) {
       // state; a tight budget is what makes the oracle fire.
       plan.convergence_budget = 20'000;
     }
-    const RunReport report = evo::check::run_plan(plan);
+    evo::obs::Recorder recorder;
+    const RunReport report = evo::check::run_plan(plan, {}, &recorder);
     ++ran;
     std::printf("seed 0x%" PRIx64 " digest 0x%016" PRIx64
                 " episodes %zu events %" PRIu64 " violations %zu\n",
@@ -194,6 +240,7 @@ int run_campaign(const Args& args) {
     }
     if (!report.violations.empty()) {
       print_violations(report);
+      dump_flight(recorder, flight_path_for(args.shrink_out));
       shrink_and_save(args, plan, report);
       return 1;
     }

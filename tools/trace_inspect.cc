@@ -1,0 +1,279 @@
+// Inspect Perfetto trace-event JSON produced by obs::perfetto_json.
+//
+//   trace_inspect summarize trace.json                # per-event-name stats
+//   trace_inspect spans trace.json                    # span durations
+//   trace_inspect filter trace.json --cat igp         # re-emit a subset
+//   trace_inspect filter trace.json --name bgp.flush
+//   trace_inspect diff a.json b.json                  # event-count deltas
+//
+// The parser understands exactly the line-oriented subset the exporter
+// writes (one event object per line): it is not a general JSON parser, by
+// design — no third-party dependency, and byte-identical round trips.
+// Exit status: 0 ok, 1 diff found differences, 2 usage/parse errors.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = '?';           // 'b', 'e', or 'i'
+  std::int64_t ts = 0;     // microseconds of sim time
+  std::uint32_t pid = 0;   // track (sweep cell)
+  std::uint64_t id = 0;    // async span id; 0 for instants
+  std::uint64_t a = 0, b = 0;
+  std::string raw;         // original line, for filter re-emission
+};
+
+/// Extract `"key":<number>` or `"key":"value"` from one JSON line. Returns
+/// the raw token (quotes stripped for strings).
+std::optional<std::string> field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t start = pos + needle.size();
+  if (start >= line.size()) return std::nullopt;
+  if (line[start] == '"') {
+    const auto end = line.find('"', start + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(start + 1, end - start - 1);
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+std::optional<TraceEvent> parse_event(const std::string& line) {
+  TraceEvent event;
+  const auto name = field(line, "name");
+  const auto cat = field(line, "cat");
+  const auto ph = field(line, "ph");
+  const auto ts = field(line, "ts");
+  if (!name || !cat || !ph || !ts || ph->size() != 1) return std::nullopt;
+  event.name = *name;
+  event.cat = *cat;
+  event.ph = (*ph)[0];
+  event.ts = std::strtoll(ts->c_str(), nullptr, 10);
+  if (const auto pid = field(line, "pid")) {
+    event.pid = static_cast<std::uint32_t>(std::strtoul(pid->c_str(), nullptr, 10));
+  }
+  if (const auto id = field(line, "id")) {
+    event.id = std::strtoull(id->c_str(), nullptr, 0);  // "0x..." form
+  }
+  if (const auto a = field(line, "a")) {
+    event.a = std::strtoull(a->c_str(), nullptr, 10);
+  }
+  if (const auto b = field(line, "b")) {
+    event.b = std::strtoull(b->c_str(), nullptr, 10);
+  }
+  event.raw = line;
+  return event;
+}
+
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::string error;
+};
+
+Trace load(const std::string& path) {
+  Trace trace;
+  std::ifstream in(path);
+  if (!in) {
+    trace.error = "cannot open " + path;
+    return trace;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    // Event lines are the ones carrying a "ph" field; header/footer lines
+    // ("{\"displayTimeUnit\"...", "]}") are structural and skipped.
+    if (line.find("\"ph\":") == std::string::npos) continue;
+    // Strip the inter-event separator the exporter appends.
+    while (!line.empty() && (line.back() == ',' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    const auto event = parse_event(line);
+    if (!event) {
+      trace.error = "unparseable event line: " + line;
+      return trace;
+    }
+    trace.events.push_back(*event);
+  }
+  return trace;
+}
+
+struct NameStats {
+  std::uint64_t count = 0;
+  std::int64_t first_ts = 0;
+  std::int64_t last_ts = 0;
+};
+
+int summarize(const Trace& trace) {
+  std::map<std::string, std::map<std::string, NameStats>> by_cat;
+  for (const TraceEvent& event : trace.events) {
+    auto& stats = by_cat[event.cat][event.name];
+    if (stats.count == 0) stats.first_ts = event.ts;
+    stats.last_ts = event.ts;
+    ++stats.count;
+  }
+  std::printf("%zu events\n", trace.events.size());
+  for (const auto& [cat, names] : by_cat) {
+    std::uint64_t total = 0;
+    for (const auto& [name, stats] : names) total += stats.count;
+    std::printf("%-8s %8" PRIu64 " events\n", cat.c_str(), total);
+    for (const auto& [name, stats] : names) {
+      std::printf("  %-30s %8" PRIu64 "  [%.3fms .. %.3fms]\n", name.c_str(),
+                  stats.count, static_cast<double>(stats.first_ts) / 1000.0,
+                  static_cast<double>(stats.last_ts) / 1000.0);
+    }
+  }
+  return 0;
+}
+
+int spans(const Trace& trace) {
+  // Pair "b"/"e" by async id; sort completed spans by open time.
+  struct Open {
+    const TraceEvent* open;
+  };
+  std::map<std::uint64_t, const TraceEvent*> open;
+  struct Closed {
+    const TraceEvent* begin;
+    const TraceEvent* end;
+  };
+  std::vector<Closed> closed;
+  for (const TraceEvent& event : trace.events) {
+    if (event.ph == 'b') {
+      open[event.id] = &event;
+    } else if (event.ph == 'e') {
+      const auto it = open.find(event.id);
+      if (it != open.end()) {
+        closed.push_back({it->second, &event});
+        open.erase(it);
+      }
+    }
+  }
+  std::stable_sort(closed.begin(), closed.end(),
+                   [](const Closed& x, const Closed& y) {
+                     return x.begin->ts < y.begin->ts;
+                   });
+  std::printf("%zu completed spans, %zu unclosed\n", closed.size(), open.size());
+  for (const Closed& span : closed) {
+    std::printf("  %-24s %-8s open %10.3fms  dur %10.3fms  a=%" PRIu64
+                " b=%" PRIu64 "\n",
+                span.begin->name.c_str(), span.begin->cat.c_str(),
+                static_cast<double>(span.begin->ts) / 1000.0,
+                static_cast<double>(span.end->ts - span.begin->ts) / 1000.0,
+                span.end->a, span.end->b);
+  }
+  for (const auto& [id, event] : open) {
+    std::printf("  %-24s %-8s open %10.3fms  UNCLOSED\n", event->name.c_str(),
+                event->cat.c_str(), static_cast<double>(event->ts) / 1000.0);
+  }
+  return 0;
+}
+
+int filter(const Trace& trace, const std::string& cat, const std::string& name) {
+  std::printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  for (const TraceEvent& event : trace.events) {
+    if (!cat.empty() && event.cat != cat) continue;
+    if (!name.empty() && event.name.find(name) == std::string::npos) continue;
+    if (!first) std::printf(",\n");
+    first = false;
+    std::printf("%s", event.raw.c_str());
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
+
+int diff(const Trace& lhs, const Trace& rhs) {
+  std::map<std::pair<std::string, std::string>, std::pair<std::int64_t, std::int64_t>>
+      counts;
+  for (const TraceEvent& event : lhs.events) {
+    ++counts[{event.cat, event.name}].first;
+  }
+  for (const TraceEvent& event : rhs.events) {
+    ++counts[{event.cat, event.name}].second;
+  }
+  bool differs = lhs.events.size() != rhs.events.size();
+  for (const auto& [key, pair] : counts) {
+    if (pair.first == pair.second) continue;
+    differs = true;
+    std::printf("%-8s %-30s %8" PRId64 " -> %8" PRId64 "  (%+" PRId64 ")\n",
+                key.first.c_str(), key.second.c_str(), pair.first, pair.second,
+                pair.second - pair.first);
+  }
+  if (!differs) {
+    std::printf("identical: %zu events\n", lhs.events.size());
+    return 0;
+  }
+  std::printf("totals: %zu -> %zu events\n", lhs.events.size(), rhs.events.size());
+  return 1;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s summarize TRACE\n"
+               "       %s spans TRACE\n"
+               "       %s filter [--cat CAT] [--name SUBSTR] TRACE\n"
+               "       %s diff TRACE_A TRACE_B\n",
+               argv0, argv0, argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Flags and positional file arguments may appear in any order.
+  std::string cat, name;
+  std::vector<const char*> files;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cat") == 0 && i + 1 < argc) {
+      cat = argv[++i];
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  const std::size_t want_files = command == "diff" ? 2 : 1;
+  if (files.size() != want_files ||
+      ((!cat.empty() || !name.empty()) && command != "filter")) {
+    usage(argv[0]);
+    return 2;
+  }
+  const Trace trace = load(files[0]);
+  if (!trace.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", trace.error.c_str());
+    return 2;
+  }
+  if (command == "summarize") return summarize(trace);
+  if (command == "spans") return spans(trace);
+  if (command == "filter") return filter(trace, cat, name);
+  if (command == "diff") {
+    const Trace rhs = load(files[1]);
+    if (!rhs.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", rhs.error.c_str());
+      return 2;
+    }
+    return diff(trace, rhs);
+  }
+  usage(argv[0]);
+  return 2;
+}
